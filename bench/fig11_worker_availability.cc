@@ -1,0 +1,50 @@
+// Figure 11: worker availability estimation across the three deployment
+// windows for SEQ-IND-CRO and SIM-COL-CRO (simulated AMT study; the paper
+// ran 8 HITs per window with 10 workers each and computed x'/x). Expected
+// shape: early week (Mon-Thu) > mid week (Thu-Sun) > weekend (Fri-Mon), for
+// both task types, with standard-error bars.
+#include <cstdio>
+
+#include "src/common/ascii_table.h"
+#include "src/platform/amt.h"
+
+namespace {
+
+using stratrec::AsciiTable;
+using stratrec::FormatDouble;
+namespace platform = stratrec::platform;
+
+void RunStudy(platform::TaskType type) {
+  platform::AmtStudyOptions options;
+  options.availability_repetitions = 8;  // 8 HITs per window
+  platform::AmtSimulator amt(options, /*seed=*/0xF16'11ull);
+  const auto cells = amt.RunAvailabilityStudy(type);
+
+  std::printf("\nTask type: %s (suitable workers: %zu of %zu)\n",
+              platform::TaskTypeName(type),
+              amt.pool().SuitableWorkerCount(type), amt.pool().workers().size());
+  AsciiTable table(
+      {"strategy", "window", "availability", "std-error", "ground truth"});
+  for (const auto& cell : cells) {
+    table.AddRow({stratrec::core::StageName(cell.stage),
+                  platform::WindowName(cell.window),
+                  FormatDouble(cell.mean, 4), FormatDouble(cell.std_error, 4),
+                  FormatDouble(amt.pool().TrueIntensity(cell.window), 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 11: worker availability estimation per deployment window\n"
+      "(paper windows: weekend = Fri-Mon, early-week = Mon-Thu, mid-week = "
+      "Thu-Sun)\n");
+  RunStudy(platform::TaskType::kSentenceTranslation);
+  RunStudy(platform::TaskType::kTextCreation);
+  std::printf(
+      "\nExpected shape (paper): availability varies over time; workers are "
+      "most\navailable in the early-week window for both strategies.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 13: effectiveness of StratRec — average quality, cost and latency
+// of mirrored deployments with vs without StratRec recommendations, plus the
+// edit-war statistics (paper: 3.45 edits per task with StratRec vs 6.25
+// without) and Welch t-tests for significance.
+//
+// Values are denormalized to the paper's units: quality in %, cost in $ (of
+// the $14 budget), latency in hours (of the 72-hour window).
+#include <cstdio>
+
+#include "src/common/ascii_table.h"
+#include "src/platform/amt.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/hypothesis.h"
+
+namespace {
+
+using stratrec::AsciiTable;
+using stratrec::FormatDouble;
+namespace core = stratrec::core;
+namespace platform = stratrec::platform;
+namespace stats = stratrec::stats;
+
+constexpr double kBudgetUsd = 14.0;
+constexpr double kWindowHours = 72.0;
+
+void RunStudy(platform::TaskType type, uint64_t seed) {
+  platform::AmtStudyOptions options;
+  platform::AmtSimulator amt(options, seed);
+  // Paper thresholds: quality 70%, cost $14 (full budget), latency 72 h.
+  const core::ParamVector thresholds{0.70, 1.0, 1.0};
+  auto study = amt.RunMirroredStudy(type, /*num_tasks=*/10, thresholds);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 study.status().ToString().c_str());
+    return;
+  }
+
+  auto mean = [](const std::vector<double>& xs) {
+    return stats::Mean(xs).value_or(0.0);
+  };
+
+  std::printf("\nTask type: %s\n", platform::TaskTypeName(type));
+  AsciiTable table({"metric", "StratRec", "Without StratRec", "p-value"});
+  auto add = [&](const char* metric, const std::vector<double>& with_rec,
+                 const std::vector<double>& without, double scale,
+                 int precision) {
+    auto test = stats::WelchTTest(with_rec, without);
+    table.AddRow({metric, FormatDouble(mean(with_rec) * scale, precision),
+                  FormatDouble(mean(without) * scale, precision),
+                  test.ok() ? FormatDouble(test->p_value_two_sided, 4)
+                            : "n/a"});
+  };
+  add("quality (%)", study->quality_with, study->quality_without, 100.0, 1);
+  add("cost ($)", study->cost_with, study->cost_without, kBudgetUsd, 2);
+  add("latency (h)", study->latency_with, study->latency_without,
+      kWindowHours, 1);
+  add("edits per task", study->edits_with, study->edits_without, 1.0, 2);
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 13: quality/cost/latency with vs without StratRec (10 mirrored "
+      "deployments per task type)\n"
+      "thresholds: quality 70%%, cost $14, latency 72h\n");
+  RunStudy(platform::TaskType::kSentenceTranslation, 0xF16'13ull);
+  RunStudy(platform::TaskType::kTextCreation, 0xF16'13ull + 1);
+  std::printf(
+      "\nExpected shape (paper): StratRec deployments achieve higher quality "
+      "and lower\nlatency under the fixed cost threshold, with fewer edits "
+      "(3.45 vs 6.25 for\ntranslation) — unguided workers override each "
+      "other in an edit war.\n");
+  return 0;
+}

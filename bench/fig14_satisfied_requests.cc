@@ -1,0 +1,107 @@
+// Figure 14: percentage of deployment requests satisfiable (before invoking
+// ADPaR), varying k, m, |S| and W, for uniform vs normal strategy dimension
+// distributions. Paper defaults: |S| = 10000, m = 10, k = 10, W = 0.5; each
+// point averages 10 runs.
+//
+// Interpretation note (EXPERIMENTS.md §Fig14): a request is "satisfied" when
+// at least k strategies are individually deployable for it within the
+// available workforce W — i.e. the workforce-requirement cell is feasible
+// and costs at most W. The paper's flat batch-size panel (b) shows its
+// metric does not model cross-request capacity competition, so neither does
+// this bench; the batch-competition variants are exercised in Figures 15/16.
+#include <cstdio>
+#include <functional>
+
+#include "src/common/ascii_table.h"
+#include "src/core/workforce.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using stratrec::AsciiTable;
+using stratrec::FormatDouble;
+namespace core = stratrec::core;
+namespace workload = stratrec::workload;
+
+constexpr int kDefaultS = 10000;
+constexpr int kDefaultM = 10;
+constexpr int kDefaultK = 10;
+constexpr double kDefaultW = 0.5;
+constexpr int kRuns = 10;
+
+double SatisfiedFraction(workload::DimDistribution distribution, int num_s,
+                         int m, int k, double w, uint64_t seed) {
+  workload::GeneratorOptions options;
+  options.distribution = distribution;
+  workload::Generator generator(options, seed);
+  const auto profiles = generator.Profiles(num_s);
+  const auto requests = generator.Requests(m, k);
+  const auto matrix = core::WorkforceMatrix::Compute(requests, profiles);
+
+  int satisfied = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    int deployable = 0;
+    for (size_t j = 0; j < profiles.size(); ++j) {
+      const auto& cell = matrix.At(i, j);
+      if (cell.feasible && cell.requirement <= w) ++deployable;
+      if (deployable >= k) break;
+    }
+    if (deployable >= k) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(m);
+}
+
+double Averaged(workload::DimDistribution distribution, int num_s, int m,
+                int k, double w) {
+  double total = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    total += SatisfiedFraction(distribution, num_s, m, k, w,
+                               0xF16'14ull * 1000 + static_cast<uint64_t>(run));
+  }
+  return total / kRuns;
+}
+
+void Panel(const char* title, const char* x_label,
+           const std::vector<double>& xs,
+           const std::function<double(workload::DimDistribution, double)>&
+               evaluate) {
+  std::printf("\n%s\n", title);
+  AsciiTable table({x_label, "uniform", "normal"});
+  for (double x : xs) {
+    table.AddRow(
+        {FormatDouble(x, x < 1.0 ? 2 : 0),
+         FormatDouble(evaluate(workload::DimDistribution::kUniform, x), 4),
+         FormatDouble(evaluate(workload::DimDistribution::kNormal, x), 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 14: %% satisfied requests before invoking ADPaR\n"
+      "defaults: |S|=%d m=%d k=%d W=%.2f, %d runs per point\n",
+      kDefaultS, kDefaultM, kDefaultK, kDefaultW, kRuns);
+
+  Panel("(a) varying k", "k", {10, 100, 1000, 10000},
+        [](workload::DimDistribution d, double k) {
+          return Averaged(d, kDefaultS, kDefaultM, static_cast<int>(k),
+                          kDefaultW);
+        });
+  Panel("(b) varying m", "m", {10, 100, 1000, 10000},
+        [](workload::DimDistribution d, double m) {
+          return Averaged(d, kDefaultS, static_cast<int>(m), kDefaultK,
+                          kDefaultW);
+        });
+  Panel("(c) varying |S|", "|S|", {10, 100, 1000, 10000},
+        [](workload::DimDistribution d, double s) {
+          return Averaged(d, static_cast<int>(s), kDefaultM, kDefaultK,
+                          kDefaultW);
+        });
+  Panel("(d) varying W", "W", {0.5, 0.6, 0.7, 0.8, 0.9},
+        [](workload::DimDistribution d, double w) {
+          return Averaged(d, kDefaultS, kDefaultM, kDefaultK, w);
+        });
+  return 0;
+}

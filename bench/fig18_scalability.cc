@@ -1,0 +1,116 @@
+// Figure 18: scalability (running time) —
+//   (a) batch deployment varying m: BruteForce (exponential) vs BatchStrat
+//       (near-linear; the paper reports < 1 s for millions of strategies),
+//   (b) ADPaR-Exact varying |S|,
+//   (c) ADPaR-Exact varying k.
+// Implemented with google-benchmark; times are wall-clock per solve.
+#include <benchmark/benchmark.h>
+
+#include "src/core/adpar.h"
+#include "src/core/batch_scheduler.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+namespace core = stratrec::core;
+namespace workload = stratrec::workload;
+
+// --- (a) Batch deployment varying m ---------------------------------------
+
+void BM_BatchStrat_VaryM(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 0xF16'18ull);
+  const auto profiles = generator.Profiles(30);
+  const auto requests = generator.RequestsWithRanges(
+      m, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
+  core::BatchOptions options;
+  options.aggregation = core::AggregationMode::kMax;
+  for (auto _ : state) {
+    auto result = core::BatchStrat(requests, profiles, 0.5, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BatchStrat_VaryM)->Arg(200)->Arg(400)->Arg(600)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchStratMillionStrategies(benchmark::State& state) {
+  // The paper's headline: "BatchStrat ... takes less than a second to handle
+  // millions of strategies".
+  workload::Generator generator({}, 0xF16'18ull + 1);
+  const auto profiles = generator.Profiles(1'000'000);
+  const auto requests = generator.RequestsWithRanges(
+      10, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
+  core::BatchOptions options;
+  options.aggregation = core::AggregationMode::kMax;
+  for (auto _ : state) {
+    auto result = core::BatchStrat(requests, profiles, 0.5, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BatchStratMillionStrategies)->Unit(benchmark::kMillisecond);
+
+void BM_BruteForceBatch_VaryM(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 0xF16'18ull + 2);
+  const auto profiles = generator.Profiles(30);
+  const auto requests = generator.RequestsWithRanges(
+      m, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
+  core::BatchOptions options;
+  options.aggregation = core::AggregationMode::kMax;
+  for (auto _ : state) {
+    auto result = core::BruteForceBatch(requests, profiles, 0.5, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BruteForceBatch_VaryM)->DenseRange(5, 20, 5)
+    ->Unit(benchmark::kMillisecond);
+
+// --- (b) ADPaR-Exact varying |S| -------------------------------------------
+
+void BM_AdparExact_VaryS(benchmark::State& state) {
+  const int num_s = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 0xF16'18ull + 3);
+  const auto strategies = generator.StrategyParams(num_s);
+  const core::ParamVector d{0.9, 0.2, 0.2};
+  for (auto _ : state) {
+    auto result = core::AdparExact(strategies, d, 5);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AdparExact_VaryS)->Arg(1000)->Arg(5000)->Arg(25000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- (c) ADPaR-Exact varying k ----------------------------------------------
+
+void BM_AdparExact_VaryK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 0xF16'18ull + 4);
+  const auto strategies = generator.StrategyParams(10000);
+  const core::ParamVector d{0.9, 0.2, 0.2};
+  for (auto _ : state) {
+    auto result = core::AdparExact(strategies, d, k);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AdparExact_VaryK)->Arg(10)->Arg(50)->Arg(250)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Supporting micro-benchmarks --------------------------------------------
+
+void BM_WorkforceMatrix(benchmark::State& state) {
+  const int num_s = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 0xF16'18ull + 5);
+  const auto profiles = generator.Profiles(num_s);
+  const auto requests = generator.Requests(10, 10);
+  for (auto _ : state) {
+    auto matrix = core::WorkforceMatrix::Compute(
+        requests, profiles, core::WorkforcePolicy::kMinimalWorkforce);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_WorkforceMatrix)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

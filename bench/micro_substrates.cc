@@ -1,0 +1,129 @@
+// Micro-benchmarks for the substrate libraries: R-tree queries, skyline /
+// k-skyband computation (and its effect as an ADPaR pruning pass), knapsack
+// selection, OLS fitting, and the bounded k-smallest tracker. These back the
+// complexity claims in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "src/core/knapsack.h"
+#include "src/core/skyline.h"
+#include "src/geometry/k_smallest.h"
+#include "src/geometry/rtree.h"
+#include "src/stats/linear_regression.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+namespace core = stratrec::core;
+namespace geo = stratrec::geo;
+namespace workload = stratrec::workload;
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stratrec::Rng rng(1);
+  std::vector<geo::Point3> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  for (auto _ : state) {
+    geo::RTree tree;
+    for (int i = 0; i < n; ++i) {
+      tree.Insert(points[static_cast<size_t>(i)], i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stratrec::Rng rng(2);
+  geo::RTree tree;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert({rng.Uniform(), rng.Uniform(), rng.Uniform()}, i);
+  }
+  const geo::Rect3 box{{0.2, 0.2, 0.2}, {0.5, 0.5, 0.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Count(box));
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_KSkyband(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  workload::Generator generator({}, 3);
+  const auto strategies = generator.StrategyParams(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::KSkyband(strategies, 5));
+  }
+}
+BENCHMARK(BM_KSkyband)->Arg(500)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_AdparExact_PlainVsSkyband(benchmark::State& state) {
+  const bool use_skyband = state.range(0) == 1;
+  workload::GeneratorOptions options;
+  options.distribution = workload::DimDistribution::kNormal;
+  workload::Generator generator(options, 4);
+  const auto strategies = generator.StrategyParams(3000);
+  const core::ParamVector d{0.9, 0.2, 0.2};
+  for (auto _ : state) {
+    auto result = use_skyband ? core::AdparExactSkyband(strategies, d, 5)
+                              : core::AdparExact(strategies, d, 5);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AdparExact_PlainVsSkyband)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stratrec::Rng rng(5);
+  std::vector<core::KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    core::KnapsackItem item;
+    item.index = static_cast<size_t>(i);
+    item.weight = rng.Uniform(0.01, 0.2);
+    item.value = rng.Uniform(0.1, 1.0);
+    item.sort_value = item.value;
+    items.push_back(item);
+  }
+  for (auto _ : state) {
+    auto copy = items;
+    benchmark::DoNotOptimize(core::GreedyKnapsack(std::move(copy), 5.0, {}));
+  }
+}
+BENCHMARK(BM_GreedyKnapsack)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FitLinear(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stratrec::Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform();
+    xs.push_back(x);
+    ys.push_back(0.09 * x + 0.85 + rng.Normal(0, 0.02));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stratrec::stats::FitLinear(xs, ys));
+  }
+}
+BENCHMARK(BM_FitLinear)->Arg(100)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_KSmallestTracker(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stratrec::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.Uniform());
+  for (auto _ : state) {
+    geo::KSmallestTracker tracker(10);
+    for (double v : values) tracker.Push(v);
+    benchmark::DoNotOptimize(tracker.KthSmallest());
+  }
+}
+BENCHMARK(BM_KSmallestTracker)->Arg(10000)->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "src/common/ascii_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace stratrec {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::AddNumericRow(const std::string& label,
+                               const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string AsciiTable::ToString() const {
+  size_t num_cols = headers_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+
+  std::vector<size_t> widths(num_cols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = std::max(widths[c], headers_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream* out) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      (*out) << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < num_cols) (*out) << " | ";
+    }
+    (*out) << '\n';
+  };
+
+  std::ostringstream out;
+  render_row(headers_, &out);
+  for (size_t c = 0; c < num_cols; ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < num_cols) out << "-+-";
+  }
+  out << '\n';
+  for (const auto& row : rows_) render_row(row, &out);
+  return out.str();
+}
+
+void AsciiTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace stratrec

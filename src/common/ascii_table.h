@@ -1,0 +1,48 @@
+// Fixed-width ASCII table rendering for bench/example output.
+//
+// Every bench binary reproduces a paper table or figure as a plain-text
+// table; this helper keeps their formatting uniform.
+#ifndef STRATREC_COMMON_ASCII_TABLE_H_
+#define STRATREC_COMMON_ASCII_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace stratrec {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 4);
+
+  /// Renders the table with a header rule, e.g.
+  ///   k     | satisfied
+  ///   ------+----------
+  ///   10    | 0.8310
+  std::string ToString() const;
+
+  /// Renders directly to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace stratrec
+
+#endif  // STRATREC_COMMON_ASCII_TABLE_H_

@@ -1,0 +1,73 @@
+#include "src/common/csv.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/ascii_table.h"
+
+namespace stratrec {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+void AppendCell(const std::string& cell, std::ostringstream* out) {
+  if (!NeedsQuoting(cell)) {
+    (*out) << cell;
+    return;
+  }
+  (*out) << '"';
+  for (char ch : cell) {
+    if (ch == '"') (*out) << '"';
+    (*out) << ch;
+  }
+  (*out) << '"';
+}
+
+void AppendRow(const std::vector<std::string>& row, std::ostringstream* out) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) (*out) << ',';
+    AppendCell(row[c], out);
+  }
+  (*out) << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  AppendRow(header_, &out);
+  for (const auto& row : rows_) AppendRow(row, &out);
+  return out.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const std::string doc = ToString();
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace stratrec

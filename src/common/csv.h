@@ -1,0 +1,39 @@
+// Minimal CSV writer so benches can dump machine-readable series next to
+// their ASCII tables (one file per figure panel).
+#ifndef STRATREC_COMMON_CSV_H_
+#define STRATREC_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec {
+
+/// Buffers rows and writes an RFC-4180-ish CSV file (quotes cells containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  /// Creates a writer with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row of raw string cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a row of numeric cells.
+  void AddNumericRow(const std::vector<double>& values, int precision = 6);
+
+  /// Serializes the full document.
+  std::string ToString() const;
+
+  /// Writes the document to `path`. Fails with kInternal on I/O error.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stratrec
+
+#endif  // STRATREC_COMMON_CSV_H_

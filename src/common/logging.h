@@ -1,0 +1,48 @@
+// Minimal leveled logging. Defaults to kWarning so library code is silent in
+// tests and benches unless something is wrong.
+#ifndef STRATREC_COMMON_LOGGING_H_
+#define STRATREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace stratrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the STRATREC_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stratrec
+
+/// Usage: STRATREC_LOG(kInfo) << "satisfied " << n << " requests";
+#define STRATREC_LOG(level) \
+  ::stratrec::internal::LogLine(::stratrec::LogLevel::level)
+
+#endif  // STRATREC_COMMON_LOGGING_H_

@@ -1,0 +1,168 @@
+#include "src/core/adpar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/float_compare.h"
+#include "src/geometry/k_smallest.h"
+
+namespace stratrec::core {
+namespace {
+
+void FillTraceSteps(const std::vector<ParamVector>& strategies,
+                    const ParamVector& request, AdparTrace* trace) {
+  trace->relaxations.clear();
+  trace->sorted.clear();
+  trace->candidates.clear();
+  for (size_t j = 0; j < strategies.size(); ++j) {
+    AdparTrace::Relaxation rel;
+    rel.strategy = j;
+    // Quality needs lowering when the strategy quality is below the bound;
+    // cost/latency need raising when the strategy exceeds them.
+    rel.by_axis[static_cast<int>(ParamAxis::kQuality)] =
+        std::max(0.0, request.quality - strategies[j].quality);
+    rel.by_axis[static_cast<int>(ParamAxis::kCost)] =
+        std::max(0.0, strategies[j].cost - request.cost);
+    rel.by_axis[static_cast<int>(ParamAxis::kLatency)] =
+        std::max(0.0, strategies[j].latency - request.latency);
+    trace->relaxations.push_back(rel);
+  }
+  for (const auto& rel : trace->relaxations) {
+    for (int axis = 0; axis < 3; ++axis) {
+      AdparTrace::SortedEntry entry;
+      entry.relaxation = rel.by_axis[axis];
+      entry.strategy = rel.strategy;
+      entry.axis = static_cast<ParamAxis>(axis);
+      trace->sorted.push_back(entry);
+    }
+  }
+  std::stable_sort(trace->sorted.begin(), trace->sorted.end(),
+                   [](const AdparTrace::SortedEntry& a,
+                      const AdparTrace::SortedEntry& b) {
+                     return a.relaxation < b.relaxation;
+                   });
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> SelectCoveredStrategies(
+    const std::vector<ParamVector>& strategies, const ParamVector& d_prime,
+    int k) {
+  std::vector<size_t> covered;
+  for (size_t j = 0; j < strategies.size(); ++j) {
+    if (Satisfies(strategies[j], d_prime)) covered.push_back(j);
+  }
+  if (covered.size() < static_cast<size_t>(k)) {
+    return Status::Internal("alternative does not cover k strategies");
+  }
+  std::sort(covered.begin(), covered.end(), [&](size_t a, size_t b) {
+    const ParamVector& pa = strategies[a];
+    const ParamVector& pb = strategies[b];
+    if (pa.cost != pb.cost) return pa.cost < pb.cost;
+    if (pa.latency != pb.latency) return pa.latency < pb.latency;
+    if (pa.quality != pb.quality) return pa.quality > pb.quality;
+    return a < b;
+  });
+  covered.resize(static_cast<size_t>(k));
+  return covered;
+}
+
+Result<AdparResult> AdparExact(const std::vector<ParamVector>& strategies,
+                               const ParamVector& request, int k,
+                               AdparTrace* trace) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (strategies.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer strategies than k");
+  }
+  if (trace != nullptr) FillTraceSteps(strategies, request, trace);
+
+  const size_t n = strategies.size();
+  const auto uk = static_cast<size_t>(k);
+
+  // Strategies sorted by cost once; every per-quality sweep walks this order.
+  std::vector<size_t> by_cost(n);
+  for (size_t j = 0; j < n; ++j) by_cost[j] = j;
+  std::sort(by_cost.begin(), by_cost.end(), [&](size_t a, size_t b) {
+    return strategies[a].cost < strategies[b].cost;
+  });
+
+  // Candidate quality thresholds: the original bound plus every strictly
+  // weaker strategy quality (tightness — Lemma 1/2).
+  std::vector<double> quality_candidates = {request.quality};
+  for (const ParamVector& s : strategies) {
+    if (s.quality < request.quality) quality_candidates.push_back(s.quality);
+  }
+  std::sort(quality_candidates.begin(), quality_candidates.end(),
+            std::greater<>());
+  quality_candidates.erase(
+      std::unique(quality_candidates.begin(), quality_candidates.end()),
+      quality_candidates.end());
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  ParamVector best{};
+
+  for (double q : quality_candidates) {
+    const double dq = q - request.quality;  // <= 0
+    const double qd2 = dq * dq;
+    // Candidates are sorted descending, so qd2 grows monotonically; once it
+    // alone exceeds the incumbent, no later candidate can win.
+    if (qd2 >= best_sq) break;
+
+    // Cost sweep over quality-eligible strategies in ascending cost order.
+    // A bounded max-heap yields the k-th smallest latency among admitted
+    // strategies — the tight latency threshold for the current cost bound.
+    geo::KSmallestTracker latencies(uk);
+    size_t cursor = 0;
+    auto admit_up_to = [&](double cost_bound) {
+      while (cursor < n) {
+        const ParamVector& s = strategies[by_cost[cursor]];
+        if (s.cost > cost_bound + kEps) break;
+        if (ApproxGe(s.quality, q)) latencies.Push(s.latency);
+        ++cursor;
+      }
+    };
+
+    // Candidate cost thresholds: the original bound plus every strictly
+    // larger strategy cost (ascending; the sweep only ever relaxes).
+    std::vector<double> cost_candidates = {request.cost};
+    for (size_t j : by_cost) {
+      const ParamVector& s = strategies[j];
+      if (s.cost > request.cost && ApproxGe(s.quality, q)) {
+        cost_candidates.push_back(s.cost);
+      }
+    }
+
+    for (double c : cost_candidates) {
+      admit_up_to(c);
+      if (!latencies.Full()) continue;
+      const double tight_latency =
+          std::max(latencies.KthSmallest(), request.latency);
+      const double dc = c - request.cost;
+      const double dl = tight_latency - request.latency;
+      const double sq = qd2 + dc * dc + dl * dl;
+      if (trace != nullptr) {
+        trace->candidates.push_back({ParamVector{q, c, tight_latency}, sq});
+      }
+      if (sq < best_sq) {
+        best_sq = sq;
+        best = ParamVector{q, c, tight_latency};
+      }
+    }
+  }
+
+  if (!std::isfinite(best_sq)) {
+    return Status::Internal("sweep found no covering alternative");
+  }
+
+  AdparResult result;
+  result.alternative = best;
+  result.squared_distance = best_sq;
+  result.distance = std::sqrt(best_sq);
+  auto covered = SelectCoveredStrategies(strategies, best, k);
+  if (!covered.ok()) return covered.status();
+  result.strategies = std::move(*covered);
+  return result;
+}
+
+}  // namespace stratrec::core

@@ -1,0 +1,42 @@
+// The comparison algorithms evaluated against ADPaR-Exact in the paper's
+// Figure 17 (Section 5.2.1): the exponential exact enumerator ADPaRB, the
+// one-dimension-at-a-time query-refinement baseline (Baseline2, inspired by
+// Mishra et al.), and the R-tree MBB baseline (Baseline3).
+#ifndef STRATREC_CORE_ADPAR_BASELINES_H_
+#define STRATREC_CORE_ADPAR_BASELINES_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/adpar.h"
+
+namespace stratrec::core {
+
+/// ADPaRB: enumerates every k-subset of strategies, computes the tight
+/// alternative for each (component-wise clamp of the request against the
+/// subset), and returns the best. Exact but exponential; fails with
+/// kOutOfRange when C(|S|, k) exceeds `max_combinations`.
+Result<AdparResult> AdparBrute(const std::vector<ParamVector>& strategies,
+                               const ParamVector& request, int k,
+                               uint64_t max_combinations = 20'000'000);
+
+/// Baseline2: relaxes one parameter at a time. First tries each single-axis
+/// relaxation that alone reaches k coverage (keeping the other two at the
+/// requested values) and returns the cheapest; if no single axis suffices,
+/// greedily relaxes the cheapest next axis step (to the next blocking
+/// strategy coordinate) and repeats. Always returns a covering alternative,
+/// but — unlike ADPaR-Exact — not an optimal one.
+Result<AdparResult> AdparBaseline2(const std::vector<ParamVector>& strategies,
+                                   const ParamVector& request, int k);
+
+/// Baseline3: indexes strategies in an R-tree (in the smaller-is-better
+/// relaxation space), scans node MBBs for one containing exactly k
+/// strategies and returns its top corner (clamped against the request) as
+/// the alternative; falls back to the best node with more than k. Fast but
+/// oblivious to the distance objective.
+Result<AdparResult> AdparBaseline3(const std::vector<ParamVector>& strategies,
+                                   const ParamVector& request, int k);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_ADPAR_BASELINES_H_

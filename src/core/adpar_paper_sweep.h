@@ -1,0 +1,32 @@
+// A faithful reconstruction of the paper's Algorithm 2 ("ADPaR-Exact") as
+// literally written: three coupled sweep-lines over the globally sorted
+// relaxation list (R, I, D), cursor advancement, and the step-4 projection
+// that shrinks one axis at a time.
+//
+// The paper claims this procedure is exact (Theorem 4); implementing it
+// verbatim shows it is a good heuristic but *not* exact — its cursor couples
+// the three axes through one global ordering, so configurations where the
+// optimum trades a large relaxation on one axis against none on the others
+// can be skipped (tests/adpar_paper_sweep_test.cc exhibits concrete gaps).
+// The repository's default solver (AdparExact in adpar.h) fixes this with a
+// per-axis two-level sweep and is verified exact by property tests; this
+// module exists to document the paper's algorithm and to measure its
+// optimality gap (bench/fig17_adpar_quality adds it as a series).
+#ifndef STRATREC_CORE_ADPAR_PAPER_SWEEP_H_
+#define STRATREC_CORE_ADPAR_PAPER_SWEEP_H_
+
+#include <vector>
+
+#include "src/core/adpar.h"
+
+namespace stratrec::core {
+
+/// Solves ADPaR with the paper's literal sweep. Always returns a *valid*
+/// alternative (covers >= k strategies) when |S| >= k; the objective value
+/// is >= AdparExact's (equal on most instances).
+Result<AdparResult> AdparPaperSweep(const std::vector<ParamVector>& strategies,
+                                    const ParamVector& request, int k);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_ADPAR_PAPER_SWEEP_H_

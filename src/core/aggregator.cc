@@ -1,0 +1,44 @@
+#include "src/core/aggregator.h"
+
+namespace stratrec::core {
+
+Result<Aggregator> Aggregator::Create(std::vector<Strategy> strategies,
+                                      std::vector<StrategyProfile> profiles) {
+  if (strategies.size() != profiles.size()) {
+    return Status::InvalidArgument(
+        "strategy and profile lists must be index-aligned");
+  }
+  if (strategies.empty()) {
+    return Status::InvalidArgument("aggregator needs at least one strategy");
+  }
+  return Aggregator(std::move(strategies), std::move(profiles));
+}
+
+Result<AggregatorReport> Aggregator::Run(
+    const std::vector<DeploymentRequest>& requests,
+    const AvailabilityModel& availability, const BatchOptions& options,
+    BatchAlgorithm algorithm) const {
+  return RunAtAvailability(requests, availability.ExpectedAvailability(),
+                           options, algorithm);
+}
+
+Result<AggregatorReport> Aggregator::RunAtAvailability(
+    const std::vector<DeploymentRequest>& requests, double availability,
+    const BatchOptions& options, BatchAlgorithm algorithm) const {
+  if (availability < 0.0 || availability > 1.0) {
+    return Status::InvalidArgument("availability must lie in [0, 1]");
+  }
+  AggregatorReport report;
+  report.availability = availability;
+  report.strategy_params.reserve(profiles_.size());
+  for (const StrategyProfile& profile : profiles_) {
+    report.strategy_params.push_back(profile.EstimateParams(availability));
+  }
+  auto batch =
+      SolveBatch(requests, profiles_, availability, options, algorithm);
+  if (!batch.ok()) return batch.status();
+  report.batch = std::move(*batch);
+  return report;
+}
+
+}  // namespace stratrec::core

@@ -1,0 +1,66 @@
+// The Aggregator module of Figure 1: the pipeline that turns a batch of
+// deployment requests into recommendations.
+//
+// Steps (Section 2.2): (1) estimate worker availability from the worker
+// pool, (2) estimate per-strategy deployment parameters via the linear
+// models, (3) compute workforce requirements, and (4) run the
+// optimization-guided batch deployment.
+#ifndef STRATREC_CORE_AGGREGATOR_H_
+#define STRATREC_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/availability.h"
+#include "src/core/batch_scheduler.h"
+#include "src/core/strategy.h"
+
+namespace stratrec::core {
+
+/// Everything the Aggregator derives for one batch.
+struct AggregatorReport {
+  /// Expected availability W consumed by the optimization.
+  double availability = 0.0;
+  /// Concrete per-strategy parameters estimated at W (Table 1 style),
+  /// index-aligned with the strategy/profile lists.
+  std::vector<ParamVector> strategy_params;
+  /// The batch optimization outcome.
+  BatchResult batch;
+};
+
+/// Owns the platform's strategy catalog and parameter models.
+class Aggregator {
+ public:
+  /// `strategies` provides naming/metadata; `profiles[j]` models
+  /// `strategies[j]`. Both must be index-aligned and equally sized.
+  static Result<Aggregator> Create(std::vector<Strategy> strategies,
+                                   std::vector<StrategyProfile> profiles);
+
+  const std::vector<Strategy>& strategies() const { return strategies_; }
+  const std::vector<StrategyProfile>& profiles() const { return profiles_; }
+
+  /// Runs the full pipeline at the expectation of `availability`.
+  Result<AggregatorReport> Run(const std::vector<DeploymentRequest>& requests,
+                               const AvailabilityModel& availability,
+                               const BatchOptions& options,
+                               BatchAlgorithm algorithm =
+                                   BatchAlgorithm::kBatchStrat) const;
+
+  /// Runs the pipeline at a known expected availability W in [0, 1].
+  Result<AggregatorReport> RunAtAvailability(
+      const std::vector<DeploymentRequest>& requests, double availability,
+      const BatchOptions& options,
+      BatchAlgorithm algorithm = BatchAlgorithm::kBatchStrat) const;
+
+ private:
+  Aggregator(std::vector<Strategy> strategies,
+             std::vector<StrategyProfile> profiles)
+      : strategies_(std::move(strategies)), profiles_(std::move(profiles)) {}
+
+  std::vector<Strategy> strategies_;
+  std::vector<StrategyProfile> profiles_;
+};
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_AGGREGATOR_H_

@@ -1,0 +1,31 @@
+#include "src/core/availability.h"
+
+namespace stratrec::core {
+
+Result<AvailabilityModel> AvailabilityModel::FromPmf(
+    std::vector<stats::PmfAtom> atoms) {
+  for (const auto& atom : atoms) {
+    if (atom.value < 0.0 || atom.value > 1.0) {
+      return Status::InvalidArgument(
+          "availability fractions must lie in [0, 1]");
+    }
+  }
+  auto pmf = stats::EmpiricalPmf::Create(std::move(atoms));
+  if (!pmf.ok()) return pmf.status();
+  return AvailabilityModel(std::move(*pmf));
+}
+
+Result<AvailabilityModel> AvailabilityModel::FromSamples(
+    const std::vector<double>& fractions) {
+  for (double f : fractions) {
+    if (f < 0.0 || f > 1.0) {
+      return Status::InvalidArgument(
+          "availability fractions must lie in [0, 1]");
+    }
+  }
+  auto pmf = stats::EmpiricalPmf::FromSamples(fractions);
+  if (!pmf.ok()) return pmf.status();
+  return AvailabilityModel(std::move(*pmf));
+}
+
+}  // namespace stratrec::core

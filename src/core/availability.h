@@ -1,0 +1,45 @@
+// Worker availability (paper Section 2.1).
+//
+// Availability is a discrete random variable over workforce *fractions*
+// estimated from historical arrival/departure data; StratRec works with its
+// expectation. Example from the paper: a 70% chance of 7% of workers and a
+// 30% chance of 2% gives an expected availability of 5.5%.
+#ifndef STRATREC_CORE_AVAILABILITY_H_
+#define STRATREC_CORE_AVAILABILITY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stats/empirical.h"
+
+namespace stratrec::core {
+
+/// The availability distribution for one (task type, time window).
+class AvailabilityModel {
+ public:
+  /// Builds from explicit (fraction, probability) atoms; fractions must lie
+  /// in [0, 1] and probabilities must sum to 1.
+  static Result<AvailabilityModel> FromPmf(
+      std::vector<stats::PmfAtom> atoms);
+
+  /// Builds the empirical distribution of observed availability fractions.
+  static Result<AvailabilityModel> FromSamples(
+      const std::vector<double>& fractions);
+
+  /// Expected available workforce W in [0, 1] — the value all of StratRec's
+  /// optimization consumes.
+  double ExpectedAvailability() const { return pmf_.Expectation(); }
+
+  /// Spread of the availability distribution.
+  double Variance() const { return pmf_.Variance(); }
+
+  const stats::EmpiricalPmf& pmf() const { return pmf_; }
+
+ private:
+  explicit AvailabilityModel(stats::EmpiricalPmf pmf) : pmf_(std::move(pmf)) {}
+  stats::EmpiricalPmf pmf_;
+};
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_AVAILABILITY_H_

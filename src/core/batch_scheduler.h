@@ -1,0 +1,89 @@
+// Optimization-guided batch deployment (paper Section 3.3).
+//
+// Given per-request aggregated workforce requirements and the available
+// workforce W, select the subset of requests to satisfy. Throughput
+// maximization (count of satisfied requests) is solved exactly by the greedy
+// (Theorem 2); pay-off maximization (sum of request budgets) is NP-hard by
+// reduction from 0/1-Knapsack (Theorem 1) and the greedy achieves a
+// 1/2-approximation (Theorem 3).
+#ifndef STRATREC_CORE_BATCH_SCHEDULER_H_
+#define STRATREC_CORE_BATCH_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/deployment.h"
+#include "src/core/workforce.h"
+
+namespace stratrec::core {
+
+/// Platform-centric optimization goal F (Section 2.3, Equation 2).
+enum class Objective { kThroughput, kPayoff };
+
+/// Knobs of the batch deployment problem.
+struct BatchOptions {
+  Objective objective = Objective::kThroughput;
+  AggregationMode aggregation = AggregationMode::kSum;
+  WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce;
+};
+
+/// Per-request outcome of a batch run.
+struct RequestOutcome {
+  size_t request_index = 0;
+  /// True when the scheduler allocated workforce and k strategies to it.
+  bool satisfied = false;
+  /// True when k strategies are feasible at all (regardless of W); requests
+  /// with eligible == false can only be helped by ADPaR.
+  bool eligible = false;
+  /// Aggregated workforce this request consumes when satisfied.
+  double workforce = 0.0;
+  /// f_i: 1 for throughput, the request budget for pay-off.
+  double objective_value = 0.0;
+  /// The k recommended strategies (indices into the profile/strategy list),
+  /// ascending by workforce requirement; empty unless satisfied.
+  std::vector<size_t> strategies;
+};
+
+/// Result of one batch optimization.
+struct BatchResult {
+  std::vector<RequestOutcome> outcomes;  ///< index-aligned with the requests
+  double total_objective = 0.0;
+  double workforce_used = 0.0;
+  std::vector<size_t> satisfied;    ///< request indices served
+  std::vector<size_t> unsatisfied;  ///< request indices to forward to ADPaR
+};
+
+/// The three implemented algorithms (Section 5.2.1).
+enum class BatchAlgorithm {
+  kBatchStrat,  ///< the paper's greedy with the best-single-item guard
+  kBaselineG,   ///< plain density greedy without the guard
+  kBruteForce,  ///< exponential exact enumeration (m <= 25)
+};
+
+/// Solves the batch deployment recommendation problem.
+///
+/// `requests[i].k` is each request's cardinality constraint; `profiles[j]`
+/// models strategy j; `available_workforce` is W in [0, 1].
+Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
+                               const std::vector<StrategyProfile>& profiles,
+                               double available_workforce,
+                               const BatchOptions& options,
+                               BatchAlgorithm algorithm);
+
+/// Convenience wrappers.
+Result<BatchResult> BatchStrat(const std::vector<DeploymentRequest>& requests,
+                               const std::vector<StrategyProfile>& profiles,
+                               double available_workforce,
+                               const BatchOptions& options = {});
+Result<BatchResult> BaselineG(const std::vector<DeploymentRequest>& requests,
+                              const std::vector<StrategyProfile>& profiles,
+                              double available_workforce,
+                              const BatchOptions& options = {});
+Result<BatchResult> BruteForceBatch(
+    const std::vector<DeploymentRequest>& requests,
+    const std::vector<StrategyProfile>& profiles, double available_workforce,
+    const BatchOptions& options = {});
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_BATCH_SCHEDULER_H_

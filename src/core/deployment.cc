@@ -1,0 +1,29 @@
+#include "src/core/deployment.h"
+
+namespace stratrec::core {
+
+Status ValidateRequest(const DeploymentRequest& request) {
+  auto in_unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in_unit(request.thresholds.quality) ||
+      !in_unit(request.thresholds.cost) ||
+      !in_unit(request.thresholds.latency)) {
+    return Status::InvalidArgument("request '" + request.id +
+                                   "': thresholds must lie in [0, 1]");
+  }
+  if (request.k < 1) {
+    return Status::InvalidArgument("request '" + request.id +
+                                   "': k must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> SuitableStrategies(const std::vector<ParamVector>& params,
+                                       const ParamVector& thresholds) {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < params.size(); ++j) {
+    if (Satisfies(params[j], thresholds)) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace stratrec::core

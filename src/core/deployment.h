@@ -1,0 +1,38 @@
+// Deployment requests (paper Section 2.1): the parameters a requester
+// desires, plus the number of strategies k to recommend.
+#ifndef STRATREC_CORE_DEPLOYMENT_H_
+#define STRATREC_CORE_DEPLOYMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+
+namespace stratrec::core {
+
+/// A requester's deployment request `d`.
+struct DeploymentRequest {
+  std::string id;
+  /// quality = lower bound on crowd contribution quality; cost & latency =
+  /// upper bounds, all normalized to [0, 1].
+  ParamVector thresholds;
+  /// How many strategies to recommend (cardinality constraint).
+  int k = 1;
+
+  /// The platform's pay-off for serving this request: the budget the
+  /// requester is willing to expend (paper Section 3.3.2, f_i = d_i.cost).
+  double Payoff() const { return thresholds.cost; }
+};
+
+/// Validates a request: thresholds in [0, 1] and k >= 1.
+Status ValidateRequest(const DeploymentRequest& request);
+
+/// Indices of strategies (given their concrete parameters) that satisfy the
+/// request's thresholds, in input order.
+std::vector<size_t> SuitableStrategies(const std::vector<ParamVector>& params,
+                                       const ParamVector& thresholds);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_DEPLOYMENT_H_

@@ -1,0 +1,97 @@
+#include "src/core/knapsack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::core {
+
+std::vector<KnapsackItem> GreedyKnapsack(std::vector<KnapsackItem> items,
+                                         double capacity,
+                                         const GreedyKnapsackOptions& options) {
+  const bool use_sort_value = options.use_sort_value;
+  std::sort(items.begin(), items.end(),
+            [use_sort_value](const KnapsackItem& a, const KnapsackItem& b) {
+              const double ka = use_sort_value ? a.sort_value : a.value;
+              const double kb = use_sort_value ? b.sort_value : b.value;
+              const double da =
+                  a.weight > 0 ? ka / a.weight
+                               : std::numeric_limits<double>::infinity();
+              const double db =
+                  b.weight > 0 ? kb / b.weight
+                               : std::numeric_limits<double>::infinity();
+              if (da != db) return da > db;
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.index < b.index;
+            });
+
+  std::vector<KnapsackItem> chosen;
+  double used = 0.0;
+  double chosen_value = 0.0;
+  for (const KnapsackItem& item : items) {
+    if (ApproxLe(used + item.weight, capacity)) {
+      chosen.push_back(item);
+      used += item.weight;
+      chosen_value += item.value;
+    }
+  }
+
+  if (options.single_item_guard) {
+    const KnapsackItem* best_single = nullptr;
+    for (const KnapsackItem& item : items) {
+      if (!ApproxLe(item.weight, capacity)) continue;
+      if (best_single == nullptr || item.value > best_single->value) {
+        best_single = &item;
+      }
+    }
+    if (best_single != nullptr && best_single->value > chosen_value) {
+      return {*best_single};
+    }
+  }
+  return chosen;
+}
+
+Result<std::vector<KnapsackItem>> BruteForceKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity,
+    size_t max_items) {
+  if (items.size() > max_items || items.size() > 63) {
+    return Status::OutOfRange("brute-force knapsack item limit exceeded");
+  }
+  const size_t n = items.size();
+  uint64_t best_mask = 0;
+  double best_value = 0.0;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    double weight = 0.0, value = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        weight += items[i].weight;
+        value += items[i].value;
+      }
+    }
+    if (!ApproxLe(weight, capacity)) continue;
+    if (value > best_value) {
+      best_value = value;
+      best_mask = mask;
+    }
+  }
+  std::vector<KnapsackItem> chosen;
+  for (size_t i = 0; i < n; ++i) {
+    if (best_mask & (1ull << i)) chosen.push_back(items[i]);
+  }
+  return chosen;
+}
+
+double TotalValue(const std::vector<KnapsackItem>& items) {
+  double total = 0.0;
+  for (const KnapsackItem& item : items) total += item.value;
+  return total;
+}
+
+double TotalWeight(const std::vector<KnapsackItem>& items) {
+  double total = 0.0;
+  for (const KnapsackItem& item : items) total += item.weight;
+  return total;
+}
+
+}  // namespace stratrec::core

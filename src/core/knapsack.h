@@ -1,0 +1,54 @@
+// Generic 0/1-knapsack selection machinery shared by the batch schedulers
+// (Section 3.3) and the multi-objective extension. The paper's reduction
+// (Theorem 1, Figure 4) maps deployment requests to knapsack items: weight =
+// aggregated workforce requirement, value = the platform's objective.
+#ifndef STRATREC_CORE_KNAPSACK_H_
+#define STRATREC_CORE_KNAPSACK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::core {
+
+/// One selectable item.
+struct KnapsackItem {
+  size_t index = 0;   ///< caller-defined identity
+  double weight = 0.0;
+  double value = 0.0;
+  /// Optional secondary key used instead of `value` for the greedy ordering
+  /// (BaselineG ranks by pay-off density regardless of the objective).
+  double sort_value = 0.0;
+};
+
+/// Knobs of the greedy solver.
+struct GreedyKnapsackOptions {
+  /// Return max(greedy set, best single item) — the classic trick that
+  /// turns density greedy into a 1/2-approximation (Theorem 3).
+  bool single_item_guard = true;
+  /// Rank by sort_value/weight instead of value/weight.
+  bool use_sort_value = false;
+};
+
+/// Density greedy with first-fit scanning. Deterministic: ties break by
+/// smaller weight, then smaller index. Zero-weight items have infinite
+/// density and are always taken first.
+std::vector<KnapsackItem> GreedyKnapsack(std::vector<KnapsackItem> items,
+                                         double capacity,
+                                         const GreedyKnapsackOptions& options);
+
+/// Exact exponential enumeration; fails with kOutOfRange above `max_items`.
+Result<std::vector<KnapsackItem>> BruteForceKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity,
+    size_t max_items = 25);
+
+/// Total value of a selection.
+double TotalValue(const std::vector<KnapsackItem>& items);
+
+/// Total weight of a selection.
+double TotalWeight(const std::vector<KnapsackItem>& items);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_KNAPSACK_H_

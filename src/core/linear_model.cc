@@ -1,0 +1,45 @@
+#include "src/core/linear_model.h"
+
+namespace stratrec::core {
+
+Result<double> LinearModel::SolveForWorkforce(double target) const {
+  if (alpha == 0.0) {
+    return Status::FailedPrecondition(
+        "constant model (alpha = 0) cannot be inverted");
+  }
+  return (target - beta) / alpha;
+}
+
+Result<FittedProfile> FitProfile(const std::vector<Observation>& observations) {
+  if (observations.size() < 2) {
+    return Status::InvalidArgument("profile fitting requires >= 2 observations");
+  }
+  std::vector<double> w, q, c, l;
+  w.reserve(observations.size());
+  q.reserve(observations.size());
+  c.reserve(observations.size());
+  l.reserve(observations.size());
+  for (const Observation& obs : observations) {
+    w.push_back(obs.availability);
+    q.push_back(obs.outcome.quality);
+    c.push_back(obs.outcome.cost);
+    l.push_back(obs.outcome.latency);
+  }
+  auto quality_fit = stats::FitLinear(w, q);
+  if (!quality_fit.ok()) return quality_fit.status();
+  auto cost_fit = stats::FitLinear(w, c);
+  if (!cost_fit.ok()) return cost_fit.status();
+  auto latency_fit = stats::FitLinear(w, l);
+  if (!latency_fit.ok()) return latency_fit.status();
+
+  FittedProfile fitted;
+  fitted.quality_fit = *quality_fit;
+  fitted.cost_fit = *cost_fit;
+  fitted.latency_fit = *latency_fit;
+  fitted.profile.quality = {quality_fit->alpha, quality_fit->beta};
+  fitted.profile.cost = {cost_fit->alpha, cost_fit->beta};
+  fitted.profile.latency = {latency_fit->alpha, latency_fit->beta};
+  return fitted;
+}
+
+}  // namespace stratrec::core

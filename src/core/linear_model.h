@@ -1,0 +1,71 @@
+// Linear deployment-strategy parameter models (paper Equation 4).
+//
+// For a (strategy, deployment) pair, each parameter is modeled as a linear
+// function of worker availability w:  param(w) = alpha * w + beta. Quality
+// and cost typically increase with availability (alpha > 0), latency
+// decreases (alpha < 0) — Table 6 of the paper reports fitted coefficients of
+// exactly this form. The inverse direction ("what workforce achieves this
+// threshold?") powers the workforce-requirement computation of Section 3.2.
+#ifndef STRATREC_CORE_LINEAR_MODEL_H_
+#define STRATREC_CORE_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+#include "src/stats/linear_regression.h"
+
+namespace stratrec::core {
+
+/// param(w) = alpha * w + beta.
+struct LinearModel {
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  /// Evaluates the raw line (no clamping).
+  double Eval(double w) const { return alpha * w + beta; }
+
+  /// Evaluates and clamps into [0, 1] (normalized parameter space).
+  double EvalClamped(double w) const { return ClampUnit(Eval(w)); }
+
+  /// Solves target = alpha * w + beta for w. Fails when alpha == 0.
+  Result<double> SolveForWorkforce(double target) const;
+};
+
+/// The three per-parameter models of one (strategy, task-type) pair.
+struct StrategyProfile {
+  LinearModel quality;
+  LinearModel cost;
+  LinearModel latency;
+
+  /// Estimated deployment parameters at availability `w` (Equation 4),
+  /// clamped into the normalized space.
+  ParamVector EstimateParams(double w) const {
+    return ParamVector{quality.EvalClamped(w), cost.EvalClamped(w),
+                       latency.EvalClamped(w)};
+  }
+};
+
+/// One historical observation used for model fitting: a deployment executed
+/// at a known availability with measured outcomes.
+struct Observation {
+  double availability = 0.0;
+  ParamVector outcome;
+};
+
+/// A fitted profile together with the per-parameter regression diagnostics
+/// (confidence intervals for the Table 6 experiment).
+struct FittedProfile {
+  StrategyProfile profile;
+  stats::RegressionFit quality_fit;
+  stats::RegressionFit cost_fit;
+  stats::RegressionFit latency_fit;
+};
+
+/// Fits the three linear models by OLS from historical observations.
+/// Requires >= 2 observations with non-constant availability.
+Result<FittedProfile> FitProfile(const std::vector<Observation>& observations);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_LINEAR_MODEL_H_

@@ -1,0 +1,129 @@
+// Online (stream) deployment recommendation — the paper's closing open
+// problem: "how to design StratRec for a fully dynamic stream-like setting
+// of incoming deployment requests, where the deployment requests could be
+// revoked" (Section 7).
+//
+// The scheduler maintains a workforce budget W. Arriving requests are
+// priced via the workforce matrix machinery (Section 3.2) at the current
+// availability; a request is admitted when its aggregated requirement fits
+// the remaining capacity, otherwise it waits in a bounded pending queue.
+// Revocations (and completions) free capacity and trigger re-admission of
+// pending requests in density order, so the stream behaves like a rolling
+// BatchStrat.
+#ifndef STRATREC_CORE_ONLINE_H_
+#define STRATREC_CORE_ONLINE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/batch_scheduler.h"
+
+namespace stratrec::core {
+
+/// Configuration of the stream scheduler.
+struct OnlineOptions {
+  BatchOptions batch;
+  /// Requests that cannot be admitted immediately wait here; 0 disables
+  /// queueing (immediate reject).
+  size_t max_pending = 64;
+  /// Drain the pending queue greedily whenever capacity frees up.
+  bool readmit_on_release = true;
+};
+
+/// Admission decision for one arrival.
+struct AdmissionDecision {
+  enum class Kind {
+    kAdmitted,   ///< serving now; `strategies` and `workforce` are set
+    kQueued,     ///< waiting for capacity
+    kRejected,   ///< ineligible (fewer than k feasible strategies) or queue full
+  };
+  Kind kind = Kind::kRejected;
+  std::vector<size_t> strategies;
+  double workforce = 0.0;
+};
+
+/// Lifetime counters of one scheduler.
+struct OnlineStats {
+  size_t arrivals = 0;
+  size_t admitted = 0;
+  size_t queued = 0;
+  size_t rejected = 0;
+  size_t revoked = 0;
+  size_t completed = 0;
+  double objective = 0.0;        ///< value accrued from admitted requests
+  double peak_utilization = 0.0; ///< max fraction of W ever in use
+};
+
+/// The stream scheduler. Not thread-safe; drive it from one event loop.
+class OnlineScheduler {
+ public:
+  /// `profiles` is the strategy catalog; `availability` the expected W in
+  /// [0, 1] used both as capacity and for parameter estimation.
+  static Result<OnlineScheduler> Create(std::vector<StrategyProfile> profiles,
+                                        double availability,
+                                        OnlineOptions options = {});
+
+  /// Handles one arriving request. Request ids must be unique among active
+  /// (admitted or queued) requests.
+  Result<AdmissionDecision> OnArrival(const DeploymentRequest& request);
+
+  /// Revokes an active or queued request, freeing its capacity. Fails with
+  /// kNotFound for unknown ids.
+  Status OnRevocation(const std::string& request_id);
+
+  /// Marks an admitted request as finished (its workers are released).
+  Status OnCompletion(const std::string& request_id);
+
+  /// Adjusts the workforce capacity (e.g. a new availability estimate for
+  /// the next window). Existing admissions are honored even if the new
+  /// capacity is lower; only future admissions see the change.
+  Status SetAvailability(double availability);
+
+  double availability() const { return availability_; }
+  double used_workforce() const { return used_; }
+  double RemainingCapacity() const;
+  size_t active() const { return active_.size(); }
+  size_t pending() const { return pending_.size(); }
+  const OnlineStats& stats() const { return stats_; }
+
+ private:
+  struct ActiveEntry {
+    DeploymentRequest request;
+    double workforce = 0.0;
+    double value = 0.0;
+  };
+  struct PendingEntry {
+    DeploymentRequest request;
+    double workforce = 0.0;
+    double value = 0.0;
+  };
+
+  OnlineScheduler(std::vector<StrategyProfile> profiles, double availability,
+                  OnlineOptions options)
+      : profiles_(std::move(profiles)),
+        availability_(availability),
+        options_(std::move(options)) {}
+
+  /// Prices a request: aggregated workforce + chosen strategies.
+  Result<std::pair<double, std::vector<size_t>>> Price(
+      const DeploymentRequest& request) const;
+
+  double Value(const DeploymentRequest& request) const;
+  void Admit(const DeploymentRequest& request, double workforce, double value);
+  void DrainPending();
+  void NoteUtilization();
+
+  std::vector<StrategyProfile> profiles_;
+  double availability_ = 0.0;
+  OnlineOptions options_;
+  double used_ = 0.0;
+  std::unordered_map<std::string, ActiveEntry> active_;
+  std::deque<PendingEntry> pending_;
+  OnlineStats stats_;
+};
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_ONLINE_H_

@@ -1,0 +1,48 @@
+// Skyline and k-skyband computation over strategy parameter vectors.
+//
+// The paper positions ADPaR relative to skyline/skyband queries (Section 6:
+// Borzsony et al., Chomicki et al., Mouratidis & Tang). Beyond reproducing
+// that machinery, the k-skyband yields a *provably safe pruning pass* for
+// ADPaR: in the smaller-is-better relaxation space, if a strategy p is
+// dominated by at least k others, any k-subset containing p can swap p for a
+// dominator not already in the subset without increasing the tight
+// alternative's distance (the dominator needs component-wise no more
+// relaxation). Iterating the swap argument shows some optimal k-subset lies
+// entirely within the k-skyband, so ADPaR may discard everything else.
+#ifndef STRATREC_CORE_SKYLINE_H_
+#define STRATREC_CORE_SKYLINE_H_
+
+#include <vector>
+
+#include "src/core/adpar.h"
+#include "src/core/types.h"
+
+namespace stratrec::core {
+
+/// True when `p` dominates `q` in relaxation space: component-wise <= and
+/// strictly < on at least one axis (both points given as ParamVector;
+/// quality higher-is-better, so p dominates with higher-or-equal quality and
+/// lower-or-equal cost/latency).
+bool Dominates(const ParamVector& p, const ParamVector& q);
+
+/// Number of input points dominating each point (O(n^2)).
+std::vector<int> DominanceCounts(const std::vector<ParamVector>& strategies);
+
+/// Indices of the skyline (points dominated by nobody), in input order.
+std::vector<size_t> Skyline(const std::vector<ParamVector>& strategies);
+
+/// Indices of the k-skyband: points dominated by fewer than k others, in
+/// input order. KSkyband(s, 1) == Skyline(s). Requires k >= 1.
+Result<std::vector<size_t>> KSkyband(const std::vector<ParamVector>& strategies,
+                                     int k);
+
+/// ADPaR-Exact with k-skyband pre-pruning: identical result to
+/// AdparExact(strategies, request, k) (property-tested), often on a much
+/// smaller candidate set. Returned strategy indices refer to the original
+/// input list.
+Result<AdparResult> AdparExactSkyband(const std::vector<ParamVector>& strategies,
+                                      const ParamVector& request, int k);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_SKYLINE_H_

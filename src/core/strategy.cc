@@ -1,0 +1,120 @@
+#include "src/core/strategy.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace stratrec::core {
+namespace {
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+std::string StageName(const StageSpec& spec) {
+  std::string name;
+  name += spec.structure == Structure::kSequential ? "SEQ" : "SIM";
+  name += '-';
+  name += spec.organization == Organization::kIndependent ? "IND" : "COL";
+  name += '-';
+  name += spec.style == WorkStyle::kCrowdOnly ? "CRO" : "HYB";
+  return name;
+}
+
+Result<StageSpec> ParseStageName(const std::string& name) {
+  const std::string upper = ToUpper(name);
+  if (upper.size() != 11 || upper[3] != '-' || upper[7] != '-') {
+    return Status::InvalidArgument("malformed stage name: " + name);
+  }
+  StageSpec spec;
+  const std::string structure = upper.substr(0, 3);
+  const std::string organization = upper.substr(4, 3);
+  const std::string style = upper.substr(8, 3);
+  if (structure == "SEQ") {
+    spec.structure = Structure::kSequential;
+  } else if (structure == "SIM") {
+    spec.structure = Structure::kSimultaneous;
+  } else {
+    return Status::InvalidArgument("unknown structure: " + structure);
+  }
+  if (organization == "IND") {
+    spec.organization = Organization::kIndependent;
+  } else if (organization == "COL") {
+    spec.organization = Organization::kCollaborative;
+  } else {
+    return Status::InvalidArgument("unknown organization: " + organization);
+  }
+  if (style == "CRO") {
+    spec.style = WorkStyle::kCrowdOnly;
+  } else if (style == "HYB") {
+    spec.style = WorkStyle::kHybrid;
+  } else {
+    return Status::InvalidArgument("unknown style: " + style);
+  }
+  return spec;
+}
+
+std::vector<StageSpec> AllStageSpecs() {
+  std::vector<StageSpec> specs;
+  specs.reserve(8);
+  for (int structure = 0; structure < 2; ++structure) {
+    for (int organization = 0; organization < 2; ++organization) {
+      for (int style = 0; style < 2; ++style) {
+        specs.push_back(StageSpec{static_cast<Structure>(structure),
+                                  static_cast<Organization>(organization),
+                                  static_cast<WorkStyle>(style)});
+      }
+    }
+  }
+  return specs;
+}
+
+std::string Strategy::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += '>';
+    out += StageName(stages_[i]);
+  }
+  return out;
+}
+
+Result<uint64_t> CountWorkflows(int num_stages) {
+  if (num_stages < 0) return Status::InvalidArgument("negative stage count");
+  // 8^x overflows uint64 at x = 22 (8^21 = 2^63).
+  if (num_stages > 21) {
+    return Status::OutOfRange("8^x overflows uint64 for x > 21");
+  }
+  uint64_t count = 1;
+  for (int i = 0; i < num_stages; ++i) count *= 8;
+  return count;
+}
+
+Result<std::vector<Strategy>> EnumerateWorkflows(int num_stages,
+                                                 uint64_t max_results) {
+  auto count = CountWorkflows(num_stages);
+  if (!count.ok()) return count.status();
+  if (*count > max_results) {
+    return Status::OutOfRange("workflow enumeration exceeds max_results");
+  }
+  const std::vector<StageSpec> specs = AllStageSpecs();
+  std::vector<Strategy> out;
+  out.reserve(*count);
+  std::vector<size_t> digits(static_cast<size_t>(num_stages), 0);
+  for (uint64_t i = 0; i < *count; ++i) {
+    std::vector<StageSpec> stages;
+    stages.reserve(digits.size());
+    uint64_t rem = i;
+    for (size_t d = 0; d < digits.size(); ++d) {
+      stages.push_back(specs[rem % 8]);
+      rem /= 8;
+    }
+    out.emplace_back("wf-" + std::to_string(i), std::move(stages));
+  }
+  return out;
+}
+
+}  // namespace stratrec::core

@@ -1,0 +1,84 @@
+// Deployment strategies (paper Section 2.1, Figure 2).
+//
+// A strategy instantiates three dimensions — Structure (sequential or
+// simultaneous), Organization (independent or collaborative) and Style
+// (crowd-only or hybrid) — and, in general, is a *workflow*: a sequence of
+// such stages (the paper notes Turkomatic-style workflows yield 8^x possible
+// strategies for x stages).
+#ifndef STRATREC_CORE_STRATEGY_H_
+#define STRATREC_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::core {
+
+/// Whether workers are solicited one after another or in parallel.
+enum class Structure { kSequential = 0, kSimultaneous = 1 };
+
+/// Whether workers work on their own copies or on a shared artifact.
+enum class Organization { kIndependent = 0, kCollaborative = 1 };
+
+/// Whether the crowd works alone or is combined with machine algorithms.
+enum class WorkStyle { kCrowdOnly = 0, kHybrid = 1 };
+
+/// One stage of a deployment strategy, e.g. SEQ-IND-CRO.
+struct StageSpec {
+  Structure structure = Structure::kSequential;
+  Organization organization = Organization::kIndependent;
+  WorkStyle style = WorkStyle::kCrowdOnly;
+
+  bool operator==(const StageSpec&) const = default;
+};
+
+/// Canonical name, e.g. "SIM-COL-HYB".
+std::string StageName(const StageSpec& spec);
+
+/// Parses "SEQ-IND-CRO"-style names (case-insensitive).
+Result<StageSpec> ParseStageName(const std::string& name);
+
+/// All 8 single-stage specs in canonical order (SEQ before SIM, IND before
+/// COL, CRO before HYB).
+std::vector<StageSpec> AllStageSpecs();
+
+/// A deployment strategy: a named workflow of one or more stages.
+class Strategy {
+ public:
+  Strategy() = default;
+  Strategy(std::string id, std::vector<StageSpec> stages)
+      : id_(std::move(id)), stages_(std::move(stages)) {}
+
+  /// Convenience for the common single-stage case.
+  Strategy(std::string id, StageSpec stage)
+      : id_(std::move(id)), stages_{stage} {}
+
+  const std::string& id() const { return id_; }
+  const std::vector<StageSpec>& stages() const { return stages_; }
+  size_t num_stages() const { return stages_.size(); }
+
+  /// "SEQ-IND-CRO>SIM-COL-HYB" for multi-stage workflows.
+  std::string Describe() const;
+
+  bool operator==(const Strategy&) const = default;
+
+ private:
+  std::string id_;
+  std::vector<StageSpec> stages_;
+};
+
+/// Number of distinct workflows with exactly `num_stages` stages (8^x).
+/// Fails with kOutOfRange when the count would overflow uint64.
+Result<uint64_t> CountWorkflows(int num_stages);
+
+/// Materializes every workflow with exactly `num_stages` stages, in
+/// lexicographic stage order. Fails with kOutOfRange when the enumeration
+/// would exceed `max_results` (guard against 8^x blow-up).
+Result<std::vector<Strategy>> EnumerateWorkflows(int num_stages,
+                                                 uint64_t max_results = 1u << 20);
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_STRATEGY_H_

@@ -1,0 +1,48 @@
+#include "src/core/stratrec.h"
+
+namespace stratrec::core {
+
+Result<StratRec> StratRec::Create(std::vector<Strategy> strategies,
+                                  std::vector<StrategyProfile> profiles) {
+  auto aggregator =
+      Aggregator::Create(std::move(strategies), std::move(profiles));
+  if (!aggregator.ok()) return aggregator.status();
+  return StratRec(std::move(*aggregator));
+}
+
+Result<StratRecReport> StratRec::ProcessBatch(
+    const std::vector<DeploymentRequest>& requests,
+    const AvailabilityModel& availability,
+    const StratRecOptions& options) const {
+  return ProcessBatchAtAvailability(
+      requests, availability.ExpectedAvailability(), options);
+}
+
+Result<StratRecReport> StratRec::ProcessBatchAtAvailability(
+    const std::vector<DeploymentRequest>& requests, double availability,
+    const StratRecOptions& options) const {
+  auto report = aggregator_.RunAtAvailability(requests, availability,
+                                              options.batch, options.algorithm);
+  if (!report.ok()) return report.status();
+
+  StratRecReport out;
+  out.aggregator = std::move(*report);
+  if (!options.recommend_alternatives) return out;
+
+  // Unsatisfied requests are forwarded to ADPaR one by one (Section 2.2),
+  // against the concrete strategy parameters estimated at W.
+  for (size_t index : out.aggregator.batch.unsatisfied) {
+    auto alternative = AdparExact(out.aggregator.strategy_params,
+                                  requests[index].thresholds,
+                                  requests[index].k);
+    if (alternative.ok()) {
+      out.alternatives.push_back(
+          AlternativeRecommendation{index, std::move(*alternative)});
+    } else {
+      out.adpar_failures.push_back(index);
+    }
+  }
+  return out;
+}
+
+}  // namespace stratrec::core

@@ -1,0 +1,26 @@
+#include "src/core/types.h"
+
+#include <cstdio>
+
+namespace stratrec::core {
+
+std::string ParamVector::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(q=%.4f, c=%.4f, l=%.4f)", quality, cost,
+                latency);
+  return buf;
+}
+
+const char* ParamAxisName(ParamAxis axis) {
+  switch (axis) {
+    case ParamAxis::kQuality:
+      return "Q";
+    case ParamAxis::kCost:
+      return "C";
+    case ParamAxis::kLatency:
+      return "L";
+  }
+  return "?";
+}
+
+}  // namespace stratrec::core

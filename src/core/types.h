@@ -1,0 +1,66 @@
+// Fundamental value types of the StratRec data model (paper Section 2.1).
+#ifndef STRATREC_CORE_TYPES_H_
+#define STRATREC_CORE_TYPES_H_
+
+#include <string>
+
+#include "src/common/float_compare.h"
+#include "src/geometry/point.h"
+
+namespace stratrec::core {
+
+/// The three deployment parameters, normalized to [0, 1].
+///
+/// `quality` is higher-is-better (requests state a lower bound); `cost` and
+/// `latency` are lower-is-better (requests state upper bounds). The same
+/// struct describes both request thresholds and estimated strategy
+/// parameters — Table 1 of the paper lists both in this form.
+struct ParamVector {
+  double quality = 0.0;
+  double cost = 0.0;
+  double latency = 0.0;
+
+  bool operator==(const ParamVector& other) const = default;
+
+  /// Squared Euclidean distance to `other` (ADPaR's objective, Equation 3).
+  double SquaredDistanceTo(const ParamVector& other) const {
+    const double dq = quality - other.quality;
+    const double dc = cost - other.cost;
+    const double dl = latency - other.latency;
+    return dq * dq + dc * dc + dl * dl;
+  }
+
+  /// "SEQ-IND-CRO"-style tables print (quality, cost, latency).
+  std::string ToString() const;
+};
+
+/// Axes of the parameter space, used by ADPaR's sweep machinery and traces.
+enum class ParamAxis { kQuality = 0, kCost = 1, kLatency = 2 };
+
+/// Short display name: "Q", "C", or "L" (paper Tables 3-5).
+const char* ParamAxisName(ParamAxis axis);
+
+/// True when strategy parameters `s` satisfy request thresholds `d`:
+/// s.quality >= d.quality, s.cost <= d.cost, s.latency <= d.latency
+/// (Section 2.1, tolerant comparison).
+inline bool Satisfies(const ParamVector& s, const ParamVector& d,
+                      double eps = kEps) {
+  return ApproxGe(s.quality, d.quality, eps) && ApproxLe(s.cost, d.cost, eps) &&
+         ApproxLe(s.latency, d.latency, eps);
+}
+
+/// Maps parameters into ADPaR's uniform smaller-is-better space
+/// (quality inverted to 1 - quality; paper Section 4.1). Coordinates are
+/// (x, y, z) = (1 - quality, cost, latency).
+inline geo::Point3 ToRelaxSpace(const ParamVector& p) {
+  return geo::Point3{1.0 - p.quality, p.cost, p.latency};
+}
+
+/// Inverse of ToRelaxSpace().
+inline ParamVector FromRelaxSpace(const geo::Point3& p) {
+  return ParamVector{1.0 - p.x, p.y, p.z};
+}
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_TYPES_H_

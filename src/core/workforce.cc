@@ -1,0 +1,143 @@
+#include "src/core/workforce.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Feasible workforce interval [lo, hi] for one constraint, and the equality
+// solution (where defined). `lower_bound_constraint` is true for quality
+// (param must be >= threshold), false for cost/latency (param <= threshold).
+struct ConstraintInterval {
+  double lo = 0.0;
+  double hi = kInf;
+  bool has_equality = false;
+  double equality = 0.0;
+  bool feasible = true;
+};
+
+ConstraintInterval AnalyzeConstraint(const LinearModel& model, double threshold,
+                                     bool lower_bound_constraint) {
+  ConstraintInterval out;
+  if (model.alpha == 0.0) {
+    // Constant parameter: either every workforce level works or none does.
+    const bool ok = lower_bound_constraint ? ApproxGe(model.beta, threshold)
+                                           : ApproxLe(model.beta, threshold);
+    out.feasible = ok;
+    return out;
+  }
+  out.has_equality = true;
+  out.equality = (threshold - model.beta) / model.alpha;
+  // param >= t with alpha > 0  -> w >= eq ; with alpha < 0 -> w <= eq.
+  // param <= t with alpha > 0  -> w <= eq ; with alpha < 0 -> w >= eq.
+  const bool is_lower = lower_bound_constraint == (model.alpha > 0.0);
+  if (is_lower) {
+    out.lo = out.equality;
+  } else {
+    out.hi = out.equality;
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkforceCell ComputeWorkforceCell(const StrategyProfile& profile,
+                                   const ParamVector& thresholds,
+                                   WorkforcePolicy policy) {
+  const ConstraintInterval quality =
+      AnalyzeConstraint(profile.quality, thresholds.quality,
+                        /*lower_bound_constraint=*/true);
+  const ConstraintInterval cost =
+      AnalyzeConstraint(profile.cost, thresholds.cost,
+                        /*lower_bound_constraint=*/false);
+  const ConstraintInterval latency =
+      AnalyzeConstraint(profile.latency, thresholds.latency,
+                        /*lower_bound_constraint=*/false);
+
+  WorkforceCell cell;
+  if (!quality.feasible || !cost.feasible || !latency.feasible) return cell;
+
+  // Intersect the three half-lines with the physical range [0, 1].
+  const double lo =
+      std::max({quality.lo, cost.lo, latency.lo, 0.0});
+  const double hi = std::min({quality.hi, cost.hi, latency.hi, 1.0});
+  if (!ApproxLe(lo, hi)) return cell;
+
+  cell.feasible = true;
+  switch (policy) {
+    case WorkforcePolicy::kMinimalWorkforce:
+      cell.requirement = lo;
+      break;
+    case WorkforcePolicy::kPaperMaxOfThree: {
+      // max over the equality solutions (Figure 3a), clamped into the
+      // feasible interval; with no invertible model the interval floor
+      // applies.
+      double candidate = -kInf;
+      for (const ConstraintInterval* c : {&quality, &cost, &latency}) {
+        if (c->has_equality) candidate = std::max(candidate, c->equality);
+      }
+      cell.requirement =
+          candidate == -kInf ? lo : Clamp(candidate, lo, hi);
+      break;
+    }
+  }
+  return cell;
+}
+
+WorkforceMatrix WorkforceMatrix::Compute(
+    const std::vector<DeploymentRequest>& requests,
+    const std::vector<StrategyProfile>& profiles, WorkforcePolicy policy) {
+  WorkforceMatrix matrix(requests.size(), profiles.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t j = 0; j < profiles.size(); ++j) {
+      matrix.cells_[i * matrix.cols_ + j] =
+          ComputeWorkforceCell(profiles[j], requests[i].thresholds, policy);
+    }
+  }
+  return matrix;
+}
+
+Result<std::vector<size_t>> WorkforceMatrix::KBestStrategies(size_t request,
+                                                             int k) const {
+  if (request >= rows_) return Status::OutOfRange("request index");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  std::vector<size_t> feasible;
+  for (size_t j = 0; j < cols_; ++j) {
+    if (At(request, j).feasible) feasible.push_back(j);
+  }
+  if (feasible.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k feasible strategies");
+  }
+  // Partial sort: the k cheapest requirements, ties broken by index for
+  // determinism.
+  auto cheaper = [this, request](size_t a, size_t b) {
+    const double wa = At(request, a).requirement;
+    const double wb = At(request, b).requirement;
+    if (wa != wb) return wa < wb;
+    return a < b;
+  };
+  std::partial_sort(feasible.begin(), feasible.begin() + k, feasible.end(),
+                    cheaper);
+  feasible.resize(static_cast<size_t>(k));
+  return feasible;
+}
+
+Result<double> WorkforceMatrix::AggregateRequirement(size_t request, int k,
+                                                     AggregationMode mode) const {
+  auto best = KBestStrategies(request, k);
+  if (!best.ok()) return best.status();
+  if (mode == AggregationMode::kSum) {
+    double total = 0.0;
+    for (size_t j : *best) total += At(request, j).requirement;
+    return total;
+  }
+  // kMax: the k-th smallest requirement — the last of the sorted k-best.
+  return At(request, best->back()).requirement;
+}
+
+}  // namespace stratrec::core

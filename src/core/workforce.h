@@ -1,0 +1,101 @@
+// Workforce-requirement computation (paper Section 3.2, Figure 3).
+//
+// Step 1 computes the m x |S| matrix W where w_ij is the workforce required
+// to deploy request d_i with strategy s_j, obtained by inverting the linear
+// parameter models (Equation 4). Step 2 aggregates each row into the
+// workforce needed to recommend k strategies — either the sum of the k
+// smallest requirements (the requester deploys with all k strategies) or the
+// k-th smallest (the requester picks one of the k).
+#ifndef STRATREC_CORE_WORKFORCE_H_
+#define STRATREC_CORE_WORKFORCE_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/deployment.h"
+#include "src/core/linear_model.h"
+
+namespace stratrec::core {
+
+/// How w_ij is derived from the three per-parameter equality solutions.
+///
+/// The default is kMinimalWorkforce: the least workforce satisfying every
+/// threshold, with upper-bound constraints (cost, and any parameter whose
+/// slope makes the threshold an upper bound) acting as feasibility caps.
+/// This is the only reading consistent with the paper's own walkthrough —
+/// under the literal max-of-three rule, Example 1's d3 (cost budget 0.83)
+/// would demand the full-budget workforce w = 2.01 (clamped to 1.0) and
+/// could not be served at W = 0.8, contradicting Section 2.2.
+enum class WorkforcePolicy {
+  /// The least workforce meeting all thresholds (recommended, default).
+  kMinimalWorkforce,
+  /// The paper's literal rule (Figure 3a): w_ij = max(w_q, w_c, w_l),
+  /// clamped into the feasible interval. Because cost grows with workforce,
+  /// the cost term is the workforce at which the whole budget is spent, so
+  /// feasible deployments consume their full budget (maximizing delivered
+  /// quality). Kept as an ablation.
+  kPaperMaxOfThree,
+};
+
+/// How a row of the matrix is folded into one per-request requirement
+/// (Section 3.2 step 2).
+enum class AggregationMode {
+  kSum,  ///< deploy using all k strategies: sum of the k smallest w_ij
+  kMax,  ///< deploy one of the k: the k-th smallest w_ij
+};
+
+/// One cell of the workforce matrix.
+struct WorkforceCell {
+  /// Minimum workforce in [0, 1] to deploy (d_i, s_j); +inf when infeasible.
+  double requirement = std::numeric_limits<double>::infinity();
+  /// Whether any workforce in [0, 1] satisfies all three thresholds.
+  bool feasible = false;
+};
+
+/// Computes one cell: inverts each parameter model against the request
+/// threshold, intersects the resulting feasibility interval with [0, 1], and
+/// applies `policy`.
+WorkforceCell ComputeWorkforceCell(
+    const StrategyProfile& profile, const ParamVector& thresholds,
+    WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce);
+
+/// The m x |S| workforce-requirement matrix.
+class WorkforceMatrix {
+ public:
+  /// Builds the matrix for all (request, profile) pairs.
+  /// `profiles[j]` models strategy j for this task type.
+  static WorkforceMatrix Compute(
+      const std::vector<DeploymentRequest>& requests,
+      const std::vector<StrategyProfile>& profiles,
+      WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce);
+
+  size_t num_requests() const { return rows_; }
+  size_t num_strategies() const { return cols_; }
+
+  const WorkforceCell& At(size_t request, size_t strategy) const {
+    return cells_[request * cols_ + strategy];
+  }
+
+  /// Indices of the k cheapest feasible strategies for row `request`,
+  /// ascending by requirement (ties by index). Fails with kInfeasible when
+  /// fewer than k strategies are feasible.
+  Result<std::vector<size_t>> KBestStrategies(size_t request, int k) const;
+
+  /// Aggregated workforce requirement for `request` under the given
+  /// cardinality k and mode (Figures 3b/3c). Fails with kInfeasible when
+  /// fewer than k strategies are feasible.
+  Result<double> AggregateRequirement(size_t request, int k,
+                                      AggregationMode mode) const;
+
+ private:
+  WorkforceMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols) {}
+  size_t rows_;
+  size_t cols_;
+  std::vector<WorkforceCell> cells_;
+};
+
+}  // namespace stratrec::core
+
+#endif  // STRATREC_CORE_WORKFORCE_H_

@@ -1,0 +1,70 @@
+// Bounded max-heap that tracks the k smallest values of a stream.
+//
+// This is the data structure behind both the workforce aggregation
+// (Section 3.2: "use min-heaps to retrieve the k smallest numbers") and the
+// ADPaR-Exact cost/latency sweep (the k-th smallest latency among admitted
+// strategies defines the tight latency threshold).
+#ifndef STRATREC_GEOMETRY_K_SMALLEST_H_
+#define STRATREC_GEOMETRY_K_SMALLEST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+namespace stratrec::geo {
+
+/// Maintains the k smallest doubles pushed so far in O(log k) per push.
+class KSmallestTracker {
+ public:
+  /// k must be >= 1.
+  explicit KSmallestTracker(size_t k) : k_(k) { assert(k >= 1); }
+
+  /// Offers a value; it is retained only if it ranks among the k smallest.
+  void Push(double value) {
+    if (heap_.size() < k_) {
+      heap_.push(value);
+      return;
+    }
+    if (value < heap_.top()) {
+      heap_.pop();
+      heap_.push(value);
+    }
+  }
+
+  /// True when at least k values have been offered.
+  bool Full() const { return heap_.size() == k_; }
+
+  size_t size() const { return heap_.size(); }
+
+  /// The k-th smallest value seen so far; requires Full().
+  double KthSmallest() const {
+    assert(Full());
+    return heap_.top();
+  }
+
+  /// Current maximum among the retained values; requires size() >= 1.
+  double LargestRetained() const {
+    assert(!heap_.empty());
+    return heap_.top();
+  }
+
+  /// Returns the retained values in ascending order (non-destructive).
+  std::vector<double> SortedValues() const {
+    std::priority_queue<double> copy = heap_;
+    std::vector<double> out(copy.size());
+    for (size_t i = copy.size(); i > 0; --i) {
+      out[i - 1] = copy.top();
+      copy.pop();
+    }
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<double> heap_;  // max-heap of the k smallest
+};
+
+}  // namespace stratrec::geo
+
+#endif  // STRATREC_GEOMETRY_K_SMALLEST_H_

@@ -1,0 +1,50 @@
+// 3-D points. ADPaR views each strategy as a point in (cost, inverted
+// quality, latency) space where all coordinates are "smaller is better"
+// (paper Section 4.1).
+#ifndef STRATREC_GEOMETRY_POINT_H_
+#define STRATREC_GEOMETRY_POINT_H_
+
+#include <array>
+#include <cmath>
+
+namespace stratrec::geo {
+
+/// A point in 3-dimensional Euclidean space.
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  double& operator[](int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+
+  bool operator==(const Point3& other) const {
+    return x == other.x && y == other.y && z == other.z;
+  }
+
+  /// Component-wise <=: this point is dominated by (inside the box of) `b`
+  /// when every coordinate is at most the corresponding one of `b`.
+  bool DominatedBy(const Point3& b) const {
+    return x <= b.x && y <= b.y && z <= b.z;
+  }
+
+  /// Euclidean distance to `b`.
+  double DistanceTo(const Point3& b) const {
+    const double dx = x - b.x, dy = y - b.y, dz = z - b.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+
+  /// Squared Euclidean distance to `b` (avoids the sqrt for comparisons).
+  double SquaredDistanceTo(const Point3& b) const {
+    const double dx = x - b.x, dy = y - b.y, dz = z - b.z;
+    return dx * dx + dy * dy + dz * dz;
+  }
+};
+
+inline constexpr int kNumAxes = 3;
+
+}  // namespace stratrec::geo
+
+#endif  // STRATREC_GEOMETRY_POINT_H_

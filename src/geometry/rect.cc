@@ -1,0 +1,46 @@
+#include "src/geometry/rect.h"
+
+#include <algorithm>
+
+namespace stratrec::geo {
+
+Rect3& Rect3::Extend(const Point3& p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  lo.z = std::min(lo.z, p.z);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+  hi.z = std::max(hi.z, p.z);
+  return *this;
+}
+
+Rect3& Rect3::ExtendRect(const Rect3& other) {
+  if (other.IsEmpty()) return *this;
+  Extend(other.lo);
+  Extend(other.hi);
+  return *this;
+}
+
+double Rect3::Volume() const {
+  if (IsEmpty()) return 0.0;
+  return (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+}
+
+double Rect3::Margin() const {
+  if (IsEmpty()) return 0.0;
+  return (hi.x - lo.x) + (hi.y - lo.y) + (hi.z - lo.z);
+}
+
+double Rect3::Enlargement(const Rect3& other) const {
+  Rect3 combined = *this;
+  combined.ExtendRect(other);
+  return combined.Volume() - Volume();
+}
+
+Rect3 Union(const Rect3& a, const Rect3& b) {
+  Rect3 out = a;
+  out.ExtendRect(b);
+  return out;
+}
+
+}  // namespace stratrec::geo

@@ -1,0 +1,74 @@
+// Axis-parallel 3-D rectangles (boxes). A deployment request is an
+// axis-parallel hyper-rectangle in the normalized parameter space
+// (paper Section 4.1); R-tree nodes are minimum bounding boxes.
+#ifndef STRATREC_GEOMETRY_RECT_H_
+#define STRATREC_GEOMETRY_RECT_H_
+
+#include <limits>
+
+#include "src/geometry/point.h"
+
+namespace stratrec::geo {
+
+/// Closed axis-parallel box [lo, hi] in 3-D.
+struct Rect3 {
+  Point3 lo;
+  Point3 hi;
+
+  /// The "empty" box: inverted infinite bounds; Extend() of anything fixes it.
+  static Rect3 Empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return Rect3{{inf, inf, inf}, {-inf, -inf, -inf}};
+  }
+
+  /// Degenerate box covering exactly one point.
+  static Rect3 FromPoint(const Point3& p) { return Rect3{p, p}; }
+
+  bool IsEmpty() const {
+    return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+  }
+
+  /// True when `p` lies inside (boundary inclusive).
+  bool Contains(const Point3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// True when `other` is fully inside this box.
+  bool ContainsRect(const Rect3& other) const {
+    return Contains(other.lo) && Contains(other.hi);
+  }
+
+  /// True when the two boxes share at least one point.
+  bool Intersects(const Rect3& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return lo.x <= other.hi.x && other.lo.x <= hi.x && lo.y <= other.hi.y &&
+           other.lo.y <= hi.y && lo.z <= other.hi.z && other.lo.z <= hi.z;
+  }
+
+  /// Grows this box (in place) to cover `p`; returns *this.
+  Rect3& Extend(const Point3& p);
+
+  /// Grows this box (in place) to cover `other`; returns *this.
+  Rect3& ExtendRect(const Rect3& other);
+
+  /// Volume (0 for degenerate or empty boxes).
+  double Volume() const;
+
+  /// Sum of the three side lengths (the R*-tree "margin" heuristic).
+  double Margin() const;
+
+  /// Volume increase caused by extending this box to cover `other`.
+  double Enlargement(const Rect3& other) const;
+
+  /// The corner with all coordinates maximal ("top-right" in the paper's
+  /// Baseline3: returned as the alternative deployment parameters).
+  Point3 TopCorner() const { return hi; }
+};
+
+/// Smallest box covering both inputs.
+Rect3 Union(const Rect3& a, const Rect3& b);
+
+}  // namespace stratrec::geo
+
+#endif  // STRATREC_GEOMETRY_RECT_H_

@@ -1,0 +1,286 @@
+#include "src/geometry/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace stratrec::geo {
+
+// An entry is either a (point, id) pair in a leaf or a child pointer in an
+// internal node; `box` is the point box or the child's MBB respectively.
+struct RTree::Entry {
+  Rect3 box = Rect3::Empty();
+  int64_t id = -1;
+  std::unique_ptr<Node> child;
+};
+
+struct RTree::Node {
+  bool is_leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+
+  Rect3 Mbb() const {
+    Rect3 box = Rect3::Empty();
+    for (const Entry& e : entries) box.ExtendRect(e.box);
+    return box;
+  }
+
+  size_t SubtreeCount() const {
+    if (is_leaf) return entries.size();
+    size_t total = 0;
+    for (const Entry& e : entries) total += e.child->SubtreeCount();
+    return total;
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max<size_t>(max_entries, 4)),
+      min_entries_(std::max<size_t>(max_entries, 4) / 2) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::Insert(const Point3& point, int64_t id) {
+  Entry entry;
+  entry.box = Rect3::FromPoint(point);
+  entry.id = id;
+  InsertEntry(std::move(entry), /*target_level=*/-1);
+  ++size_;
+}
+
+RTree::Node* RTree::ChooseSubtree(Node* node, const Rect3& box,
+                                  int target_level) const {
+  int level = 0;
+  while (!node->is_leaf) {
+    if (target_level >= 0 && level == target_level) break;
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (Entry& e : node->entries) {
+      const double enlargement = e.box.Enlargement(box);
+      const double volume = e.box.Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = e.child.get();
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    assert(best != nullptr);
+    node = best;
+    ++level;
+  }
+  return node;
+}
+
+void RTree::InsertEntry(Entry entry, int target_level) {
+  Node* leaf = ChooseSubtree(root_.get(), entry.box, target_level);
+  if (entry.child != nullptr) entry.child->parent = leaf;
+  leaf->entries.push_back(std::move(entry));
+  if (leaf->entries.size() > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+void RTree::SplitNode(Node* node) {
+  // Guttman quadratic split: pick the pair of seeds wasting the most volume,
+  // then assign remaining entries by preference (max enlargement delta).
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = Union(entries[i].box, entries[j].box).Volume() -
+                           entries[i].box.Volume() - entries[j].box.Volume();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+
+  Rect3 box_a = entries[seed_a].box;
+  Rect3 box_b = entries[seed_b].box;
+  std::vector<Entry> group_a, group_b;
+  group_a.push_back(std::move(entries[seed_a]));
+  group_b.push_back(std::move(entries[seed_b]));
+
+  std::vector<Entry> rest;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(entries[i]));
+  }
+
+  for (size_t processed = 0; processed < rest.size(); ++processed) {
+    Entry& e = rest[processed];
+    // Force-assign to an undersized group when it must absorb the remainder
+    // to reach min_entries_.
+    const size_t remaining = rest.size() - processed;
+    if (group_a.size() + remaining == min_entries_) {
+      box_a.ExtendRect(e.box);
+      group_a.push_back(std::move(e));
+      continue;
+    }
+    if (group_b.size() + remaining == min_entries_) {
+      box_b.ExtendRect(e.box);
+      group_b.push_back(std::move(e));
+      continue;
+    }
+    const double grow_a = box_a.Enlargement(e.box);
+    const double grow_b = box_b.Enlargement(e.box);
+    const bool pick_a =
+        grow_a < grow_b ||
+        (grow_a == grow_b && (box_a.Volume() < box_b.Volume() ||
+                              (box_a.Volume() == box_b.Volume() &&
+                               group_a.size() <= group_b.size())));
+    if (pick_a) {
+      box_a.ExtendRect(e.box);
+      group_a.push_back(std::move(e));
+    } else {
+      box_b.ExtendRect(e.box);
+      group_b.push_back(std::move(e));
+    }
+  }
+
+  node->entries = std::move(group_a);
+  sibling->entries = std::move(group_b);
+  if (!node->is_leaf) {
+    for (Entry& e : node->entries) e.child->parent = node;
+    for (Entry& e : sibling->entries) e.child->parent = sibling.get();
+  }
+
+  if (node->parent == nullptr) {
+    // Grow the tree: the old root and its sibling become children of a new
+    // root node.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+
+    Entry left;
+    left.box = node->Mbb();
+    left.child = std::move(root_);
+    left.child->parent = new_root.get();
+
+    Entry right;
+    right.box = sibling->Mbb();
+    sibling->parent = new_root.get();
+    right.child = std::move(sibling);
+
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  Entry sibling_entry;
+  sibling_entry.box = sibling->Mbb();
+  sibling->parent = parent;
+  sibling_entry.child = std::move(sibling);
+  parent->entries.push_back(std::move(sibling_entry));
+  AdjustUpward(node);
+  if (parent->entries.size() > max_entries_) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  Node* child = node;
+  Node* parent = node->parent;
+  while (parent != nullptr) {
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == child) {
+        e.box = child->Mbb();
+        break;
+      }
+    }
+    child = parent;
+    parent = parent->parent;
+  }
+}
+
+std::vector<int64_t> RTree::Query(const Rect3& box) const {
+  std::vector<int64_t> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!box.Intersects(e.box)) continue;
+      if (node->is_leaf) {
+        out.push_back(e.id);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+size_t RTree::Count(const Rect3& box) const {
+  size_t total = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!box.Intersects(e.box)) continue;
+      if (node->is_leaf) {
+        ++total;
+      } else if (box.ContainsRect(e.box)) {
+        total += e.child->SubtreeCount();
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return total;
+}
+
+void RTree::VisitNodes(
+    const std::function<void(const NodeSummary&)>& visit) const {
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    NodeSummary summary;
+    summary.mbb = frame.node->Mbb();
+    summary.count = frame.node->SubtreeCount();
+    summary.depth = frame.depth;
+    summary.is_leaf = frame.node->is_leaf;
+    visit(summary);
+    if (!frame.node->is_leaf) {
+      for (const Entry& e : frame.node->entries) {
+        stack.push_back({e.child.get(), frame.depth + 1});
+      }
+    }
+  }
+}
+
+int RTree::Height() const {
+  if (size_ == 0) return 0;
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->entries.front().child.get();
+  }
+  return height;
+}
+
+}  // namespace stratrec::geo

@@ -1,0 +1,74 @@
+// R-tree over 3-D points with quadratic split (Guttman), the spatial index
+// behind ADPaR's Baseline3 (paper Section 5.2.1, citing Beckmann et al.'s
+// R*-tree). Supports insertion, box queries, and traversal of node bounding
+// boxes with subtree cardinalities — Baseline3 scans node MBBs looking for
+// one that contains exactly k strategies.
+#ifndef STRATREC_GEOMETRY_RTREE_H_
+#define STRATREC_GEOMETRY_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/geometry/rect.h"
+
+namespace stratrec::geo {
+
+/// A bounding box exposed during traversal, together with how many points
+/// its subtree holds and its depth (root = 0).
+struct NodeSummary {
+  Rect3 mbb;
+  size_t count = 0;
+  int depth = 0;
+  bool is_leaf = false;
+};
+
+/// Dynamic R-tree index mapping 3-D points to integer ids.
+class RTree {
+ public:
+  /// `max_entries` per node (min is max/2); defaults follow common practice.
+  explicit RTree(size_t max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts a point with an opaque id (ids need not be unique).
+  void Insert(const Point3& point, int64_t id);
+
+  /// Number of stored points.
+  size_t size() const { return size_; }
+
+  /// Ids of all points inside `box` (boundary inclusive), in arbitrary order.
+  std::vector<int64_t> Query(const Rect3& box) const;
+
+  /// Number of points inside `box` without materializing ids.
+  size_t Count(const Rect3& box) const;
+
+  /// Invokes `visit` for every node (internal and leaf) in pre-order.
+  void VisitNodes(const std::function<void(const NodeSummary&)>& visit) const;
+
+  /// Height of the tree (0 for empty, 1 for a single leaf root).
+  int Height() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  void InsertEntry(Entry entry, int target_level);
+  Node* ChooseSubtree(Node* node, const Rect3& box, int target_level) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace stratrec::geo
+
+#endif  // STRATREC_GEOMETRY_RTREE_H_

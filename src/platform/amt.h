@@ -1,0 +1,85 @@
+// AmtSimulator: the offline stand-in for the paper's Amazon Mechanical Turk
+// studies (Section 5.1). It wires the worker pool, execution simulator,
+// qualification pipeline and expert scoring into the three experiment
+// designs the paper runs:
+//   1. the availability study (Figure 11),
+//   2. the parameter-vs-availability study (Figure 12, Table 6),
+//   3. the mirrored with/without-StratRec study (Figure 13).
+#ifndef STRATREC_PLATFORM_AMT_H_
+#define STRATREC_PLATFORM_AMT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/stratrec.h"
+#include "src/platform/execution.h"
+
+namespace stratrec::platform {
+
+/// Configuration of the simulated studies (defaults follow the paper).
+struct AmtStudyOptions {
+  WorkerPoolOptions pool;
+  ExecutionOptions execution;
+  /// Deployments per (window, strategy) cell in the availability study.
+  int availability_repetitions = 4;
+  /// Deployments per strategy when collecting model-fitting observations.
+  int observation_repetitions = 6;
+};
+
+/// Mean availability (plus standard error) for one (window, strategy) cell
+/// of the Figure 11 study.
+struct AvailabilityCell {
+  DeploymentWindow window = DeploymentWindow::kWeekend;
+  core::StageSpec stage;
+  double mean = 0.0;
+  double std_error = 0.0;
+};
+
+/// Paired samples of the Figure 13 mirrored study (values denormalized to
+/// the paper's units by the caller if desired; here normalized [0,1]).
+struct MirroredStudyResult {
+  std::vector<double> quality_with, quality_without;
+  std::vector<double> cost_with, cost_without;
+  std::vector<double> latency_with, latency_without;
+  std::vector<double> edits_with, edits_without;
+};
+
+/// The simulated platform + studies.
+class AmtSimulator {
+ public:
+  AmtSimulator(const AmtStudyOptions& options, uint64_t seed);
+
+  const WorkerPool& pool() const { return pool_; }
+
+  /// Figure 11: availability per deployment window for the two strategies
+  /// the paper deployed (SEQ-IND-CRO, SIM-COL-CRO).
+  std::vector<AvailabilityCell> RunAvailabilityStudy(TaskType type);
+
+  /// Figure 12 / Table 6 input: (availability, quality/cost/latency)
+  /// observations for one (task type, stage).
+  std::vector<core::Observation> CollectModelObservations(
+      TaskType type, const core::StageSpec& stage);
+
+  /// Fits the full 8-stage strategy catalog from simulated historical
+  /// deployments and assembles a StratRec instance over it.
+  Result<core::StratRec> BuildStratRec(TaskType type);
+
+  /// Figure 13: `num_tasks` mirrored deployments — one following StratRec's
+  /// recommendation (guided), one left to the workers (unguided, which
+  /// historically devolves into simultaneous-collaborative editing).
+  /// `thresholds` are the per-deployment parameters (paper: quality 70%,
+  /// cost $14 of $14, latency 72h of 72h).
+  Result<MirroredStudyResult> RunMirroredStudy(TaskType type, int num_tasks,
+                                               const core::ParamVector& thresholds);
+
+ private:
+  AmtStudyOptions options_;
+  WorkerPool pool_;
+  ExecutionSimulator executor_;
+  Rng rng_;
+};
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_AMT_H_

@@ -1,0 +1,197 @@
+#include "src/platform/collab_doc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::platform {
+
+CollabDocument::CollabDocument(size_t num_segments)
+    : quality_(num_segments, 0.0),
+      written_(num_segments, false),
+      last_editor_(num_segments, -1) {}
+
+double CollabDocument::SegmentQuality(size_t segment) const {
+  return segment < quality_.size() ? quality_[segment] : 0.0;
+}
+
+bool CollabDocument::SegmentWritten(size_t segment) const {
+  return segment < written_.size() && written_[segment];
+}
+
+double CollabDocument::MeanQuality() const {
+  if (quality_.empty()) return 0.0;
+  double total = 0.0;
+  for (double q : quality_) total += q;
+  return total / static_cast<double>(quality_.size());
+}
+
+Status CollabDocument::Apply(const EditOperation& op) {
+  if (op.segment >= quality_.size()) {
+    return Status::OutOfRange("segment index out of range");
+  }
+  if (op.kind == EditOperation::Kind::kCreate && written_[op.segment]) {
+    return Status::FailedPrecondition("create on non-empty segment");
+  }
+  if (op.kind != EditOperation::Kind::kCreate && !written_[op.segment]) {
+    return Status::FailedPrecondition("refine/override on empty segment");
+  }
+  quality_[op.segment] = ClampUnit(op.resulting_quality);
+  written_[op.segment] = true;
+  last_editor_[op.segment] = op.worker_id;
+  log_.push_back(op);
+  return Status::OK();
+}
+
+int CollabDocument::CountOverrides() const {
+  int overrides = 0;
+  for (const EditOperation& op : log_) {
+    if (op.kind == EditOperation::Kind::kOverride) ++overrides;
+  }
+  return overrides;
+}
+
+namespace {
+
+// A worker's fresh contribution quality for a segment.
+double FreshQuality(double skill, Rng* rng) {
+  return ClampUnit(skill * rng->Uniform(0.85, 1.0));
+}
+
+// One worker's pass over the whole document at the given times. `sees
+// latest` is false for concurrent editors who may override.
+struct PlannedEdit {
+  int64_t worker = 0;
+  double skill = 0.0;
+  double time = 0.0;
+  size_t segment = 0;
+};
+
+Status ApplyPlannedEdits(std::vector<PlannedEdit> edits, bool concurrent,
+                         bool guided, const SessionOptions& options,
+                         CollabDocument* document, Rng* rng) {
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const PlannedEdit& a, const PlannedEdit& b) {
+                     return a.time < b.time;
+                   });
+  // Last edit time per segment, to decide concurrency.
+  std::vector<double> last_time(document->num_segments(), -1e9);
+  for (const PlannedEdit& edit : edits) {
+    EditOperation op;
+    op.worker_id = edit.worker;
+    op.timestamp_hours = edit.time;
+    op.segment = edit.segment;
+    if (!document->SegmentWritten(edit.segment)) {
+      op.kind = EditOperation::Kind::kCreate;
+      op.resulting_quality = FreshQuality(edit.skill, rng);
+    } else {
+      const bool close_in_time =
+          edit.time - last_time[edit.segment] < options.conflict_window_hours;
+      const double override_prob =
+          guided ? options.guided_override_prob : options.unguided_override_prob;
+      const bool overrides =
+          concurrent && close_in_time && rng->Bernoulli(override_prob);
+      const double current = document->SegmentQuality(edit.segment);
+      if (overrides) {
+        // The worker rewrites without having seen the latest content:
+        // context is lost, so the result is a penalized fresh contribution.
+        op.kind = EditOperation::Kind::kOverride;
+        op.resulting_quality = ClampUnit(FreshQuality(edit.skill, rng) -
+                                         options.override_penalty);
+      } else {
+        // Informed refinement: close part of the gap toward the worker's
+        // skill; a weaker worker never damages content they can see.
+        op.kind = EditOperation::Kind::kRefine;
+        const double target = std::max(current, edit.skill);
+        op.resulting_quality =
+            current + options.refine_gain * (target - current);
+      }
+    }
+    STRATREC_RETURN_NOT_OK(document->Apply(op));
+    last_time[edit.segment] = edit.time;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SessionOutcome> RunSession(const core::StageSpec& stage,
+                                  const std::vector<double>& worker_skills,
+                                  bool guided, const SessionOptions& options,
+                                  CollabDocument* document, Rng* rng) {
+  if (document == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("document and rng must be non-null");
+  }
+  if (worker_skills.empty()) {
+    return Status::InvalidArgument("session needs >= 1 worker");
+  }
+  if (document->num_segments() == 0) {
+    return Status::InvalidArgument("document needs >= 1 segment");
+  }
+
+  const bool sequential = stage.structure == core::Structure::kSequential;
+  const bool independent =
+      stage.organization == core::Organization::kIndependent;
+  const size_t segments = document->num_segments();
+
+  if (independent) {
+    // Each worker fills a private copy; the evaluation step keeps the best
+    // copy (Figure 2c). No conflicts by construction.
+    CollabDocument best(segments);
+    double best_quality = -1.0;
+    int total_edits = 0;
+    for (size_t w = 0; w < worker_skills.size(); ++w) {
+      CollabDocument copy(segments);
+      std::vector<PlannedEdit> edits;
+      const double start =
+          sequential ? static_cast<double>(w) * options.session_hours
+                     : rng->Uniform(0.0, options.session_hours);
+      for (size_t seg = 0; seg < segments; ++seg) {
+        edits.push_back(PlannedEdit{static_cast<int64_t>(w), worker_skills[w],
+                                    start + 0.01 * static_cast<double>(seg),
+                                    seg});
+      }
+      STRATREC_RETURN_NOT_OK(ApplyPlannedEdits(std::move(edits),
+                                               /*concurrent=*/false, guided,
+                                               options, &copy, rng));
+      total_edits += static_cast<int>(copy.log().size());
+      if (copy.MeanQuality() > best_quality) {
+        best_quality = copy.MeanQuality();
+        best = std::move(copy);
+      }
+    }
+    *document = std::move(best);
+    SessionOutcome outcome;
+    outcome.quality = document->MeanQuality();
+    outcome.num_edits = total_edits;
+    outcome.num_overrides = 0;
+    return outcome;
+  }
+
+  // Collaborative: one shared document.
+  std::vector<PlannedEdit> edits;
+  for (size_t w = 0; w < worker_skills.size(); ++w) {
+    // Sequential workers take non-overlapping turns; simultaneous workers
+    // all arrive within the same session window.
+    const double start =
+        sequential ? static_cast<double>(w) * options.session_hours
+                   : rng->Uniform(0.0, options.session_hours * 0.5);
+    for (size_t seg = 0; seg < segments; ++seg) {
+      const double jitter =
+          rng->Uniform(0.0, options.session_hours * 0.4);
+      edits.push_back(PlannedEdit{static_cast<int64_t>(w), worker_skills[w],
+                                  start + jitter, seg});
+    }
+  }
+  STRATREC_RETURN_NOT_OK(ApplyPlannedEdits(std::move(edits),
+                                           /*concurrent=*/!sequential, guided,
+                                           options, document, rng));
+  SessionOutcome outcome;
+  outcome.quality = document->MeanQuality();
+  outcome.num_edits = static_cast<int>(document->log().size());
+  outcome.num_overrides = document->CountOverrides();
+  return outcome;
+}
+
+}  // namespace stratrec::platform

@@ -1,0 +1,32 @@
+#include "src/platform/edit_model.h"
+
+#include <algorithm>
+
+namespace stratrec::platform {
+
+EditOutcome SimulateEditing(const core::StageSpec& stage, bool guided,
+                            const EditModelOptions& options, Rng* rng) {
+  EditOutcome outcome;
+  const double rate =
+      guided ? options.guided_edit_rate : options.unguided_edit_rate;
+  // At least one edit: somebody produces the artifact.
+  outcome.num_edits = std::max(1, rng->Poisson(rate));
+
+  const bool concurrent_shared_document =
+      stage.structure == core::Structure::kSimultaneous &&
+      stage.organization == core::Organization::kCollaborative;
+  if (concurrent_shared_document) {
+    const double conflict_rate =
+        guided ? options.guided_conflict_rate : options.unguided_conflict_rate;
+    for (int e = 1; e < outcome.num_edits; ++e) {
+      if (rng->Bernoulli(conflict_rate)) ++outcome.num_conflicts;
+    }
+    outcome.quality_penalty =
+        std::min(options.max_penalty,
+                 options.penalty_per_conflict *
+                     static_cast<double>(outcome.num_conflicts));
+  }
+  return outcome;
+}
+
+}  // namespace stratrec::platform

@@ -1,0 +1,82 @@
+#include "src/platform/execution.h"
+
+#include <algorithm>
+
+#include "src/common/float_compare.h"
+#include "src/platform/expert.h"
+
+namespace stratrec::platform {
+
+ExecutionSimulator::ExecutionSimulator(const WorkerPool* pool,
+                                       const ExecutionOptions& options,
+                                       uint64_t seed)
+    : pool_(pool), options_(options), rng_(seed) {}
+
+DeploymentOutcome ExecutionSimulator::Execute(const Hit& hit,
+                                              const core::StageSpec& stage,
+                                              DeploymentWindow window,
+                                              bool guided) {
+  const double availability =
+      pool_->ObserveAvailability(window, hit.type, &rng_);
+  return ExecuteAtAvailability(hit, stage, availability, guided);
+}
+
+DeploymentOutcome ExecutionSimulator::ExecuteAtAvailability(
+    const Hit& hit, const core::StageSpec& stage, double availability,
+    bool guided) {
+  DeploymentOutcome outcome;
+  outcome.availability = availability;
+
+  const core::StrategyProfile truth = TrueProfile(hit.type, stage);
+
+  // Collaborative editing runs per task; conflicts erode latent quality.
+  double conflict_penalty = 0.0;
+  const size_t num_tasks = std::max<size_t>(1, hit.tasks.size());
+  for (size_t t = 0; t < num_tasks; ++t) {
+    const EditOutcome edits =
+        SimulateEditing(stage, guided, options_.edit_model, &rng_);
+    outcome.num_edits += edits.num_edits;
+    outcome.num_conflicts += edits.num_conflicts;
+    conflict_penalty += edits.quality_penalty;
+  }
+  conflict_penalty /= static_cast<double>(num_tasks);
+
+  // Latent quality from the response surface, minus edit-war damage, plus
+  // observation noise; the expert panel then scores it.
+  const double latent_quality = ClampUnit(
+      truth.quality.Eval(availability) - conflict_penalty +
+      rng_.Normal(0.0, options_.noise.quality_std));
+  ExpertPanel panel(options_.experts, options_.expert_noise_std, rng_.Next());
+  std::vector<double> task_qualities(num_tasks, latent_quality);
+  outcome.observed.quality = panel.AggregateScore(task_qualities).value_or(
+      latent_quality);
+
+  outcome.observed.cost = ClampUnit(truth.cost.Eval(availability) +
+                                    rng_.Normal(0.0, options_.noise.cost_std));
+  // Latency is measured relative to the nominal 72-hour window; scarce
+  // weekends can overrun it (the Table 6 surfaces exceed 1.0 at low
+  // availability), so only a loose physical cap applies — clamping at 1.0
+  // would flatten the linear relationship the fitting pipeline estimates.
+  outcome.observed.latency =
+      Clamp(truth.latency.Eval(availability) +
+                rng_.Normal(0.0, options_.noise.latency_std),
+            0.0, 2.0);
+  return outcome;
+}
+
+std::vector<core::Observation> ExecutionSimulator::CollectObservations(
+    const Hit& hit, const core::StageSpec& stage, int repetitions) {
+  std::vector<core::Observation> observations;
+  observations.reserve(static_cast<size_t>(repetitions) * kNumWindows);
+  for (int r = 0; r < repetitions; ++r) {
+    for (int w = 0; w < kNumWindows; ++w) {
+      const DeploymentOutcome outcome =
+          Execute(hit, stage, static_cast<DeploymentWindow>(w), /*guided=*/true);
+      observations.push_back(
+          core::Observation{outcome.availability, outcome.observed});
+    }
+  }
+  return observations;
+}
+
+}  // namespace stratrec::platform

@@ -1,0 +1,75 @@
+// Deployment execution: the simulated counterpart of actually running a HIT
+// on AMT with a given strategy (paper Section 5.1 experiment design).
+//
+// Given a realized worker availability, the executor produces observed
+// (quality, cost, latency) from the ground-truth linear surfaces plus
+// measurement noise, the collaborative-editing dynamics (edit wars for
+// unguided simultaneous-collaborative work), and expert scoring.
+#ifndef STRATREC_PLATFORM_EXECUTION_H_
+#define STRATREC_PLATFORM_EXECUTION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/linear_model.h"
+#include "src/core/strategy.h"
+#include "src/platform/edit_model.h"
+#include "src/platform/ground_truth.h"
+#include "src/platform/task.h"
+#include "src/platform/worker_pool.h"
+
+namespace stratrec::platform {
+
+/// Everything one simulated deployment produced.
+struct DeploymentOutcome {
+  /// The realized availability fraction the deployment ran at.
+  double availability = 0.0;
+  /// Observed deployment parameters (normalized; quality is the expert
+  /// panel's aggregate score).
+  core::ParamVector observed;
+  /// Editing dynamics, summed over the HIT's tasks.
+  int num_edits = 0;
+  int num_conflicts = 0;
+};
+
+/// Executor configuration.
+struct ExecutionOptions {
+  NoiseModel noise;
+  EditModelOptions edit_model;
+  int experts = 2;
+  double expert_noise_std = 0.04;
+};
+
+/// Simulates HIT executions against a worker pool.
+class ExecutionSimulator {
+ public:
+  ExecutionSimulator(const WorkerPool* pool, const ExecutionOptions& options,
+                     uint64_t seed);
+
+  /// Runs one deployment of `hit` with single-stage strategy `stage` during
+  /// `window`. `guided` states whether workers follow the recommended
+  /// structure/organization (true for StratRec-advised deployments).
+  DeploymentOutcome Execute(const Hit& hit, const core::StageSpec& stage,
+                            DeploymentWindow window, bool guided);
+
+  /// Runs one deployment at a *fixed* availability (used by the model
+  /// fitting experiments where availability is the independent variable).
+  DeploymentOutcome ExecuteAtAvailability(const Hit& hit,
+                                          const core::StageSpec& stage,
+                                          double availability, bool guided);
+
+  /// Runs `repetitions` deployments across all three windows and returns
+  /// (availability, outcome) observations for model fitting (the Figure 12 /
+  /// Table 6 pipeline).
+  std::vector<core::Observation> CollectObservations(
+      const Hit& hit, const core::StageSpec& stage, int repetitions);
+
+ private:
+  const WorkerPool* pool_;
+  ExecutionOptions options_;
+  Rng rng_;
+};
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_EXECUTION_H_

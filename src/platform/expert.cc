@@ -1,0 +1,32 @@
+#include "src/platform/expert.h"
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::platform {
+
+ExpertPanel::ExpertPanel(int num_experts, double score_noise_std, uint64_t seed)
+    : num_experts_(num_experts < 1 ? 1 : num_experts),
+      score_noise_std_(score_noise_std),
+      rng_(seed) {}
+
+double ExpertPanel::ScoreOnce(double true_quality) {
+  return ClampUnit(true_quality + rng_.Normal(0.0, score_noise_std_));
+}
+
+double ExpertPanel::Score(double true_quality) {
+  double total = 0.0;
+  for (int e = 0; e < num_experts_; ++e) total += ScoreOnce(true_quality);
+  return total / static_cast<double>(num_experts_);
+}
+
+Result<double> ExpertPanel::AggregateScore(
+    const std::vector<double>& true_qualities) {
+  if (true_qualities.empty()) {
+    return Status::InvalidArgument("no artifacts to score");
+  }
+  double total = 0.0;
+  for (double q : true_qualities) total += Score(q);
+  return total / static_cast<double>(true_qualities.size());
+}
+
+}  // namespace stratrec::platform

@@ -1,0 +1,40 @@
+// Domain-expert quality scoring (paper Section 5.1: completed tasks and
+// qualification tests are judged by domain experts as a percentage; results
+// are aggregated after 72 hours).
+#ifndef STRATREC_PLATFORM_EXPERT_H_
+#define STRATREC_PLATFORM_EXPERT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace stratrec::platform {
+
+/// A panel of noisy experts scoring artifacts against their latent quality.
+class ExpertPanel {
+ public:
+  /// `num_experts` >= 1; `score_noise_std` is each expert's judgement noise.
+  ExpertPanel(int num_experts, double score_noise_std, uint64_t seed);
+
+  /// One expert's score of an artifact with latent quality `true_quality`,
+  /// clamped to [0, 1].
+  double ScoreOnce(double true_quality);
+
+  /// Panel score: mean over all experts.
+  double Score(double true_quality);
+
+  /// Scores a batch of artifacts and returns the mean panel score.
+  Result<double> AggregateScore(const std::vector<double>& true_qualities);
+
+  int num_experts() const { return num_experts_; }
+
+ private:
+  int num_experts_;
+  double score_noise_std_;
+  Rng rng_;
+};
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_EXPERT_H_

@@ -1,0 +1,81 @@
+#include "src/platform/ground_truth.h"
+
+namespace stratrec::platform {
+namespace {
+
+using core::LinearModel;
+using core::Organization;
+using core::StageSpec;
+using core::StrategyProfile;
+using core::Structure;
+using core::WorkStyle;
+
+StrategyProfile Table6Profile(TaskType type, bool seq_ind) {
+  StrategyProfile profile;
+  if (type == TaskType::kSentenceTranslation) {
+    if (seq_ind) {
+      profile.quality = LinearModel{0.09, 0.85};
+      profile.cost = LinearModel{1.00, 0.00};
+      profile.latency = LinearModel{-0.98, 1.40};
+    } else {
+      profile.quality = LinearModel{0.09, 0.82};
+      profile.cost = LinearModel{0.82, 0.17};
+      profile.latency = LinearModel{-0.63, 1.01};
+    }
+  } else {
+    if (seq_ind) {
+      profile.quality = LinearModel{0.10, 0.80};
+      profile.cost = LinearModel{1.00, 0.00};
+      profile.latency = LinearModel{-1.56, 2.04};
+    } else {
+      profile.quality = LinearModel{0.19, 0.70};
+      profile.cost = LinearModel{1.00, 0.00};
+      profile.latency = LinearModel{-1.38, 1.81};
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+StrategyProfile TrueProfile(TaskType type, const StageSpec& stage) {
+  const bool is_seq_ind_cro = stage.structure == Structure::kSequential &&
+                              stage.organization == Organization::kIndependent &&
+                              stage.style == WorkStyle::kCrowdOnly;
+  const bool is_sim_col_cro = stage.structure == Structure::kSimultaneous &&
+                              stage.organization == Organization::kCollaborative &&
+                              stage.style == WorkStyle::kCrowdOnly;
+  if (is_seq_ind_cro) return Table6Profile(type, /*seq_ind=*/true);
+  if (is_sim_col_cro) return Table6Profile(type, /*seq_ind=*/false);
+
+  // Extrapolate from the nearest measured base: sequential-ish stages start
+  // from the SEQ-IND-CRO surface, simultaneous-collaborative ones from
+  // SIM-COL-CRO.
+  StrategyProfile profile =
+      Table6Profile(type, stage.structure == Structure::kSequential ||
+                              stage.organization == Organization::kIndependent);
+
+  if (stage.structure == Structure::kSimultaneous) {
+    // Parallel solicitation cuts latency: shallower decay, lower intercept.
+    profile.latency.alpha *= 0.7;
+    profile.latency.beta *= 0.78;
+  }
+  if (stage.organization == Organization::kIndependent &&
+      stage.structure == Structure::kSimultaneous) {
+    // Independent parallel work needs a final evaluation step to pick the
+    // best contribution (Figure 2c): small cost and quality premium.
+    profile.cost.beta += 0.04;
+    profile.quality.beta += 0.02;
+  }
+  if (stage.style == WorkStyle::kHybrid) {
+    // Machine output provides a quality floor at low availability and
+    // reduces paid work (Figure 2d).
+    profile.quality.beta += 0.06;
+    profile.quality.alpha *= 0.7;
+    profile.cost.alpha *= 0.85;
+    profile.latency.beta *= 0.92;
+  }
+  return profile;
+}
+
+}  // namespace stratrec::platform

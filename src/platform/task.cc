@@ -1,0 +1,37 @@
+#include "src/platform/task.h"
+
+namespace stratrec::platform {
+
+const char* TaskTypeName(TaskType type) {
+  switch (type) {
+    case TaskType::kSentenceTranslation:
+      return "translation";
+    case TaskType::kTextCreation:
+      return "creation";
+  }
+  return "?";
+}
+
+std::vector<Task> SampleTasks(TaskType type) {
+  std::vector<Task> tasks;
+  if (type == TaskType::kSentenceTranslation) {
+    tasks.push_back({"rhyme-1", type, "Mary had a little lamb"});
+    tasks.push_back({"rhyme-2", type, "Lavender's blue, dilly dilly"});
+    tasks.push_back({"rhyme-3", type, "Rock-a-bye, baby, in the treetop"});
+  } else {
+    tasks.push_back({"topic-1", type, "Robert Mueller Report"});
+    tasks.push_back({"topic-2", type, "Notre Dame Cathedral"});
+    tasks.push_back({"topic-3", type, "2019 Pulitzer prizes"});
+  }
+  return tasks;
+}
+
+Hit MakeHit(std::string id, TaskType type, std::vector<Task> tasks) {
+  Hit hit;
+  hit.id = std::move(id);
+  hit.type = type;
+  hit.tasks = std::move(tasks);
+  return hit;
+}
+
+}  // namespace stratrec::platform

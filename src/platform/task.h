@@ -1,0 +1,55 @@
+// Collaborative task types and HITs (paper Section 5.1).
+//
+// The paper evaluates two text-editing task types on Amazon Mechanical Turk:
+// sentence translation (English nursery rhymes to Hindi) and text creation
+// (short essays on given topics). A HIT bundles three tasks and is asked to
+// be completed by a fixed number of workers.
+#ifndef STRATREC_PLATFORM_TASK_H_
+#define STRATREC_PLATFORM_TASK_H_
+
+#include <string>
+#include <vector>
+
+namespace stratrec::platform {
+
+/// The collaborative task types of the real-data experiments.
+enum class TaskType {
+  kSentenceTranslation = 0,
+  kTextCreation = 1,
+};
+
+inline constexpr int kNumTaskTypes = 2;
+
+/// "translation" / "creation".
+const char* TaskTypeName(TaskType type);
+
+/// One unit of work, e.g. one rhyme to translate or one topic to write on.
+struct Task {
+  std::string id;
+  TaskType type = TaskType::kSentenceTranslation;
+  /// The artifact to work on (rhyme text, essay topic, ...).
+  std::string payload;
+};
+
+/// A Human Intelligence Task: the deployable unit (paper: 3 tasks per HIT,
+/// 10 workers x $2, 2 hours allotted, 72-hour deployment).
+struct Hit {
+  std::string id;
+  TaskType type = TaskType::kSentenceTranslation;
+  std::vector<Task> tasks;
+  int max_workers = 10;
+  double pay_per_worker_usd = 2.0;
+  double allotted_hours = 2.0;
+  double deployment_hours = 72.0;
+};
+
+/// The nursery rhymes / essay topics the paper lists, used by the examples
+/// to build realistic HITs.
+std::vector<Task> SampleTasks(TaskType type);
+
+/// Builds a HIT with the paper's defaults over `tasks`.
+Hit MakeHit(std::string id, TaskType type, std::vector<Task> tasks);
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_TASK_H_

@@ -1,0 +1,102 @@
+#include "src/platform/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace stratrec::platform {
+
+Result<PresenceTrace> PresenceTrace::Create(
+    std::vector<PresenceInterval> intervals, double window_hours) {
+  if (window_hours <= 0.0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  for (const PresenceInterval& interval : intervals) {
+    if (interval.start_hours < 0.0 || interval.end_hours > window_hours ||
+        interval.start_hours > interval.end_hours) {
+      return Status::InvalidArgument("interval outside window or inverted");
+    }
+  }
+  return PresenceTrace(std::move(intervals), window_hours);
+}
+
+Result<PresenceTrace> PresenceTrace::FromPresenceRecords(
+    const std::vector<PresenceRecord>& records, double window_hours) {
+  std::vector<PresenceInterval> intervals;
+  intervals.reserve(records.size());
+  for (const PresenceRecord& record : records) {
+    intervals.push_back(PresenceInterval{record.worker_id,
+                                         record.arrival_hours,
+                                         record.departure_hours});
+  }
+  return Create(std::move(intervals), window_hours);
+}
+
+int PresenceTrace::ConcurrencyAt(double t) const {
+  int online = 0;
+  for (const PresenceInterval& interval : intervals_) {
+    if (interval.start_hours <= t && t < interval.end_hours) ++online;
+  }
+  return online;
+}
+
+std::vector<std::pair<double, int>> PresenceTrace::ConcurrencyProfile() const {
+  // Event sweep over endpoints: +1 at start, -1 at end.
+  std::vector<std::pair<double, int>> events;
+  events.reserve(2 * intervals_.size());
+  for (const PresenceInterval& interval : intervals_) {
+    events.emplace_back(interval.start_hours, +1);
+    events.emplace_back(interval.end_hours, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // departures before arrivals at t
+            });
+  std::vector<std::pair<double, int>> profile;
+  int level = 0;
+  for (size_t i = 0; i < events.size();) {
+    const double t = events[i].first;
+    while (i < events.size() && events[i].first == t) {
+      level += events[i].second;
+      ++i;
+    }
+    if (profile.empty() || profile.back().second != level) {
+      profile.emplace_back(t, level);
+    }
+  }
+  return profile;
+}
+
+int PresenceTrace::PeakConcurrency() const {
+  int peak = 0;
+  for (const auto& [time, level] : ConcurrencyProfile()) {
+    peak = std::max(peak, level);
+  }
+  return peak;
+}
+
+double PresenceTrace::WorkerHours() const {
+  double total = 0.0;
+  for (const PresenceInterval& interval : intervals_) {
+    total += interval.end_hours - interval.start_hours;
+  }
+  return total;
+}
+
+double PresenceTrace::AverageConcurrency() const {
+  return WorkerHours() / window_hours_;
+}
+
+Result<double> PresenceTrace::AvailabilityFraction(size_t pool_size) const {
+  if (pool_size == 0) {
+    return Status::InvalidArgument("pool size must be positive");
+  }
+  std::set<int64_t> distinct;
+  for (const PresenceInterval& interval : intervals_) {
+    distinct.insert(interval.worker_id);
+  }
+  return static_cast<double>(distinct.size()) /
+         static_cast<double>(pool_size);
+}
+
+}  // namespace stratrec::platform

@@ -1,0 +1,74 @@
+// Presence traces: the historical arrival/departure data from which worker
+// availability is estimated (paper Section 2.1: "this pdf is computed from
+// historical data on workers' arrival and departure on a platform").
+//
+// A trace is a set of presence intervals within one deployment window. The
+// analysis — concurrency profile, peak concurrency, worker-hours — runs an
+// event sweep over interval endpoints and feeds both the availability
+// estimation pipeline and capacity sanity checks in the studies.
+#ifndef STRATREC_PLATFORM_TRACE_H_
+#define STRATREC_PLATFORM_TRACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/platform/worker_pool.h"
+
+namespace stratrec::platform {
+
+/// One worker's contiguous online interval within a window.
+struct PresenceInterval {
+  int64_t worker_id = 0;
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+};
+
+/// An analyzed presence trace for one deployment window.
+class PresenceTrace {
+ public:
+  /// Validates intervals (0 <= start <= end <= window_hours) and builds the
+  /// sweep structures. `window_hours` must be positive.
+  static Result<PresenceTrace> Create(std::vector<PresenceInterval> intervals,
+                                      double window_hours);
+
+  /// Builds a trace from the pool simulator's presence records.
+  static Result<PresenceTrace> FromPresenceRecords(
+      const std::vector<PresenceRecord>& records, double window_hours);
+
+  size_t num_intervals() const { return intervals_.size(); }
+  double window_hours() const { return window_hours_; }
+
+  /// Number of workers online at time t (boundary inclusive at start,
+  /// exclusive at end).
+  int ConcurrencyAt(double t) const;
+
+  /// Maximum simultaneous workers over the window.
+  int PeakConcurrency() const;
+
+  /// Total person-hours across all intervals.
+  double WorkerHours() const;
+
+  /// WorkerHours() / window length: the expected concurrency.
+  double AverageConcurrency() const;
+
+  /// Step function of concurrency: (time, level) changepoints, starting at
+  /// time 0 with level 0 implied; sorted by time.
+  std::vector<std::pair<double, int>> ConcurrencyProfile() const;
+
+  /// Distinct participating workers divided by `pool_size` — the paper's
+  /// x'/x availability fraction. Fails when pool_size is 0.
+  Result<double> AvailabilityFraction(size_t pool_size) const;
+
+ private:
+  PresenceTrace(std::vector<PresenceInterval> intervals, double window_hours)
+      : intervals_(std::move(intervals)), window_hours_(window_hours) {}
+
+  std::vector<PresenceInterval> intervals_;
+  double window_hours_ = 0.0;
+};
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_TRACE_H_

@@ -1,0 +1,54 @@
+#include "src/platform/worker.h"
+
+#include <algorithm>
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::platform {
+
+bool PassesFilter(const WorkerProfile& worker, const RecruitmentFilter& filter) {
+  if (worker.hit_approval_rate < filter.min_hit_approval_rate) return false;
+  if (!filter.regions.empty() &&
+      std::find(filter.regions.begin(), filter.regions.end(), worker.region) ==
+          filter.regions.end()) {
+    return false;
+  }
+  if (filter.require_bachelors && !worker.bachelors_degree) return false;
+  return true;
+}
+
+RecruitmentFilter FilterForTaskType(TaskType type) {
+  RecruitmentFilter filter;
+  if (type == TaskType::kSentenceTranslation) {
+    filter.regions = {Region::kUs, Region::kIndia};
+  } else {
+    filter.regions = {Region::kUs};
+    filter.require_bachelors = true;
+  }
+  return filter;
+}
+
+WorkerProfile SampleWorker(int64_t id, Rng* rng) {
+  WorkerProfile worker;
+  worker.id = id;
+  worker.skill = rng->TruncatedNormal(0.82, 0.12, 0.3, 1.0);
+  worker.hit_approval_rate = rng->TruncatedNormal(0.95, 0.05, 0.5, 1.0);
+  const double region_draw = rng->Uniform();
+  worker.region = region_draw < 0.55
+                      ? Region::kUs
+                      : (region_draw < 0.85 ? Region::kIndia : Region::kOther);
+  worker.bachelors_degree = rng->Bernoulli(0.6);
+  for (double& aptitude : worker.type_aptitude) {
+    aptitude = rng->Uniform(0.75, 1.0);
+  }
+  return worker;
+}
+
+bool PassesQualification(const WorkerProfile& worker, TaskType type, Rng* rng,
+                         double passing_score) {
+  const double demonstrated =
+      ClampUnit(worker.SkillFor(type) + rng->Normal(0.0, 0.05));
+  return demonstrated >= passing_score;
+}
+
+}  // namespace stratrec::platform

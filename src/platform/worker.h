@@ -1,0 +1,63 @@
+// Crowd workers: profiles, skills, and recruitment filters (paper
+// Section 5.1: HIT approval rate > 90%, geographic filters, qualification
+// tests evaluated by domain experts with an 80% passing bar).
+#ifndef STRATREC_PLATFORM_WORKER_H_
+#define STRATREC_PLATFORM_WORKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/platform/task.h"
+
+namespace stratrec::platform {
+
+/// Where a worker is based (the translation HITs recruit US/India only).
+enum class Region { kUs = 0, kIndia = 1, kOther = 2 };
+
+/// A crowd worker's profile.
+struct WorkerProfile {
+  int64_t id = 0;
+  /// Latent ability in [0, 1]; drives task quality and qualification tests.
+  double skill = 0.5;
+  /// Fraction of previously approved HITs in [0, 1].
+  double hit_approval_rate = 0.95;
+  Region region = Region::kUs;
+  bool bachelors_degree = false;
+  /// Per-task-type aptitude multipliers in [0.5, 1].
+  double type_aptitude[kNumTaskTypes] = {1.0, 1.0};
+
+  /// Effective skill on a task type.
+  double SkillFor(TaskType type) const {
+    return skill * type_aptitude[static_cast<int>(type)];
+  }
+};
+
+/// The recruitment filters of the paper's experiments.
+struct RecruitmentFilter {
+  double min_hit_approval_rate = 0.90;
+  /// Allowed regions; empty means any.
+  std::vector<Region> regions;
+  bool require_bachelors = false;
+};
+
+/// True when the worker passes the filter.
+bool PassesFilter(const WorkerProfile& worker, const RecruitmentFilter& filter);
+
+/// The paper's filter for a task type: translation recruits US/India,
+/// creation recruits US workers with a Bachelor's degree.
+RecruitmentFilter FilterForTaskType(TaskType type);
+
+/// Samples a random worker profile.
+WorkerProfile SampleWorker(int64_t id, Rng* rng);
+
+/// Qualification test (Section 5.1.1, Step 1): the worker's demonstrated
+/// score is skill plus bounded noise; pass requires >= `passing_score`
+/// (paper: 0.8).
+bool PassesQualification(const WorkerProfile& worker, TaskType type, Rng* rng,
+                         double passing_score = 0.8);
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_WORKER_H_

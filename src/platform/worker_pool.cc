@@ -1,0 +1,92 @@
+#include "src/platform/worker_pool.h"
+
+#include <algorithm>
+
+#include "src/common/float_compare.h"
+
+namespace stratrec::platform {
+namespace {
+
+constexpr double kWindowHours = 72.0;
+
+}  // namespace
+
+const char* WindowName(DeploymentWindow window) {
+  switch (window) {
+    case DeploymentWindow::kWeekend:
+      return "weekend";
+    case DeploymentWindow::kEarlyWeek:
+      return "early-week";
+    case DeploymentWindow::kMidWeek:
+      return "mid-week";
+  }
+  return "?";
+}
+
+WorkerPool::WorkerPool(const WorkerPoolOptions& options, uint64_t seed)
+    : options_(options) {
+  Rng rng(seed);
+  workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i) {
+    workers_.push_back(SampleWorker(i, &rng));
+  }
+  // Suitability = recruitment filter + a minimal skill floor. Deterministic
+  // so that the denominator of the availability fraction is stable.
+  for (int t = 0; t < kNumTaskTypes; ++t) {
+    const auto type = static_cast<TaskType>(t);
+    const RecruitmentFilter filter = FilterForTaskType(type);
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      if (PassesFilter(workers_[w], filter) &&
+          workers_[w].SkillFor(type) >= 0.5) {
+        suitable_[t].push_back(w);
+      }
+    }
+  }
+}
+
+size_t WorkerPool::SuitableWorkerCount(TaskType type) const {
+  return suitable_[static_cast<int>(type)].size();
+}
+
+std::vector<PresenceRecord> WorkerPool::SimulateWindow(DeploymentWindow window,
+                                                       TaskType type,
+                                                       Rng* rng) const {
+  const double intensity =
+      ClampUnit(TrueIntensity(window) +
+                rng->Normal(0.0, options_.intensity_noise));
+  std::vector<PresenceRecord> present;
+  for (size_t index : suitable_[static_cast<int>(type)]) {
+    if (!rng->Bernoulli(intensity)) continue;
+    PresenceRecord record;
+    record.worker_id = workers_[index].id;
+    record.arrival_hours = rng->Uniform(0.0, kWindowHours * 0.9);
+    record.departure_hours =
+        std::min(kWindowHours,
+                 record.arrival_hours + rng->Exponential(1.0 / 4.0));
+    present.push_back(record);
+  }
+  return present;
+}
+
+double WorkerPool::ObserveAvailability(DeploymentWindow window, TaskType type,
+                                       Rng* rng) const {
+  const size_t suitable = SuitableWorkerCount(type);
+  if (suitable == 0) return 0.0;
+  const auto present = SimulateWindow(window, type, rng);
+  return static_cast<double>(present.size()) / static_cast<double>(suitable);
+}
+
+Result<core::AvailabilityModel> WorkerPool::EstimateAvailability(
+    DeploymentWindow window, TaskType type, int deployments, Rng* rng) const {
+  if (deployments < 1) {
+    return Status::InvalidArgument("need >= 1 deployment to estimate");
+  }
+  std::vector<double> fractions;
+  fractions.reserve(static_cast<size_t>(deployments));
+  for (int i = 0; i < deployments; ++i) {
+    fractions.push_back(ObserveAvailability(window, type, rng));
+  }
+  return core::AvailabilityModel::FromSamples(fractions);
+}
+
+}  // namespace stratrec::platform

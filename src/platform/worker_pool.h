@@ -1,0 +1,93 @@
+// The worker pool: arrival/departure behaviour across deployment windows
+// and the availability traces StratRec estimates its PMFs from.
+//
+// The paper's Figure 11 finds availability varies across three deployment
+// windows — weekend (Fri-Mon), early week (Mon-Thu), mid week (Thu-Sun) —
+// with the early-week window the busiest. The pool embeds window-dependent
+// participation intensities as ground truth; repeated simulated deployments
+// recover them empirically.
+#ifndef STRATREC_PLATFORM_WORKER_POOL_H_
+#define STRATREC_PLATFORM_WORKER_POOL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/availability.h"
+#include "src/platform/worker.h"
+
+namespace stratrec::platform {
+
+/// The three deployment windows of the paper's study.
+enum class DeploymentWindow {
+  kWeekend = 0,    ///< Friday 12am - Monday 12am
+  kEarlyWeek = 1,  ///< Monday - Thursday
+  kMidWeek = 2,    ///< Thursday - Sunday
+};
+
+inline constexpr int kNumWindows = 3;
+
+/// "weekend" / "early-week" / "mid-week".
+const char* WindowName(DeploymentWindow window);
+
+/// Pool construction knobs.
+struct WorkerPoolOptions {
+  int num_workers = 1000;
+  /// Ground-truth mean participation fraction per window (Figure 11's
+  /// shape: early week > mid week > weekend).
+  double window_intensity[kNumWindows] = {0.62, 0.86, 0.72};
+  /// Day-to-day noise of the participation fraction.
+  double intensity_noise = 0.05;
+};
+
+/// One simulated presence record: a worker online during a window.
+struct PresenceRecord {
+  int64_t worker_id = 0;
+  double arrival_hours = 0.0;    ///< offset into the window
+  double departure_hours = 0.0;  ///< offset into the window
+};
+
+/// A population of workers with window-dependent presence behaviour.
+class WorkerPool {
+ public:
+  WorkerPool(const WorkerPoolOptions& options, uint64_t seed);
+
+  const std::vector<WorkerProfile>& workers() const { return workers_; }
+
+  /// Ground-truth expected participation fraction for a window.
+  double TrueIntensity(DeploymentWindow window) const {
+    return options_.window_intensity[static_cast<int>(window)];
+  }
+
+  /// Simulates one deployment: which (filtered, qualified) workers show up
+  /// during `window` for `type`. Presence is Bernoulli per worker with the
+  /// window intensity plus noise; arrival times are uniform in the window.
+  std::vector<PresenceRecord> SimulateWindow(DeploymentWindow window,
+                                             TaskType type, Rng* rng) const;
+
+  /// Availability fraction of one simulated deployment: the paper's x'/x —
+  /// participants over the suitable worker count.
+  double ObserveAvailability(DeploymentWindow window, TaskType type,
+                             Rng* rng) const;
+
+  /// Number of workers suitable (filter + skills) for `type`.
+  size_t SuitableWorkerCount(TaskType type) const;
+
+  /// Runs `deployments` simulated deployments and estimates the
+  /// availability distribution for (window, type) — the PMF StratRec's
+  /// Aggregator consumes.
+  Result<core::AvailabilityModel> EstimateAvailability(DeploymentWindow window,
+                                                       TaskType type,
+                                                       int deployments,
+                                                       Rng* rng) const;
+
+ private:
+  WorkerPoolOptions options_;
+  std::vector<WorkerProfile> workers_;
+  /// Suitability is deterministic per pool; cached per task type.
+  std::vector<size_t> suitable_[kNumTaskTypes];
+};
+
+}  // namespace stratrec::platform
+
+#endif  // STRATREC_PLATFORM_WORKER_POOL_H_

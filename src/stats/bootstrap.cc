@@ -1,0 +1,62 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/stats/descriptive.h"
+
+namespace stratrec::stats {
+
+Result<BootstrapInterval> BootstrapCi(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double confidence, int resamples, uint64_t seed) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("bootstrap needs a non-empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must lie in (0, 1)");
+  }
+  if (resamples < 100) {
+    return Status::InvalidArgument("bootstrap needs >= 100 resamples");
+  }
+
+  Rng rng(seed);
+  const auto n = static_cast<int64_t>(sample.size());
+  std::vector<double> replicate(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (size_t i = 0; i < sample.size(); ++i) {
+      replicate[i] = sample[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    estimates.push_back(statistic(replicate));
+  }
+  std::sort(estimates.begin(), estimates.end());
+
+  const double alpha = 1.0 - confidence;
+  auto quantile_at = [&](double q) {
+    const double pos = q * static_cast<double>(estimates.size() - 1);
+    const auto lo_index = static_cast<size_t>(pos);
+    const size_t hi_index = std::min(lo_index + 1, estimates.size() - 1);
+    const double frac = pos - static_cast<double>(lo_index);
+    return estimates[lo_index] * (1.0 - frac) + estimates[hi_index] * frac;
+  };
+
+  BootstrapInterval interval;
+  interval.point = statistic(sample);
+  interval.lo = quantile_at(alpha / 2.0);
+  interval.hi = quantile_at(1.0 - alpha / 2.0);
+  return interval;
+}
+
+Result<BootstrapInterval> BootstrapMeanCi(const std::vector<double>& sample,
+                                          double confidence, int resamples,
+                                          uint64_t seed) {
+  return BootstrapCi(
+      sample,
+      [](const std::vector<double>& xs) { return Mean(xs).value_or(0.0); },
+      confidence, resamples, seed);
+}
+
+}  // namespace stratrec::stats

@@ -1,0 +1,41 @@
+// Bootstrap confidence intervals (percentile method).
+//
+// The paper reports error bars for availability estimates (Figure 11) and
+// significance for small mirrored samples (Figure 13); the bootstrap gives
+// distribution-free intervals for those small-n statistics.
+#ifndef STRATREC_STATS_BOOTSTRAP_H_
+#define STRATREC_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::stats {
+
+/// A two-sided bootstrap interval around a point estimate.
+struct BootstrapInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double value) const { return value >= lo && value <= hi; }
+};
+
+/// Percentile bootstrap CI for the mean. Requires a non-empty sample,
+/// confidence in (0, 1), resamples >= 100. Deterministic given `seed`.
+Result<BootstrapInterval> BootstrapMeanCi(const std::vector<double>& sample,
+                                          double confidence, int resamples,
+                                          uint64_t seed);
+
+/// Percentile bootstrap CI for an arbitrary statistic. The statistic is
+/// called on resampled copies of the input.
+Result<BootstrapInterval> BootstrapCi(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double confidence, int resamples, uint64_t seed);
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_BOOTSTRAP_H_

@@ -1,0 +1,62 @@
+// Descriptive statistics over double samples.
+#ifndef STRATREC_STATS_DESCRIPTIVE_H_
+#define STRATREC_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::stats {
+
+/// Arithmetic mean; requires a non-empty sample.
+Result<double> Mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample variance; requires n >= 2.
+Result<double> Variance(const std::vector<double>& xs);
+
+/// Square root of Variance().
+Result<double> StdDev(const std::vector<double>& xs);
+
+/// Standard error of the mean: stddev / sqrt(n); requires n >= 2.
+Result<double> StdError(const std::vector<double>& xs);
+
+/// Sample median (average of middle pair for even n); requires non-empty.
+Result<double> Median(std::vector<double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]; requires non-empty.
+Result<double> Quantile(std::vector<double> xs, double q);
+
+/// Smallest element; requires non-empty.
+Result<double> Min(const std::vector<double>& xs);
+
+/// Largest element; requires non-empty.
+Result<double> Max(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; requires equally-sized samples with
+/// n >= 2 and non-zero variance in both.
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// Incremental mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased variance; 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  /// stddev / sqrt(n); 0 when count < 2.
+  double std_error() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_DESCRIPTIVE_H_

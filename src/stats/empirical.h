@@ -1,0 +1,77 @@
+// Empirical discrete distributions.
+//
+// The paper captures worker availability as a probability distribution
+// function over workforce fractions estimated from historical traces, and
+// StratRec works with its expectation (Section 2.1). EmpiricalPmf is that
+// object; Histogram builds one from raw samples.
+#ifndef STRATREC_STATS_EMPIRICAL_H_
+#define STRATREC_STATS_EMPIRICAL_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::stats {
+
+/// One (value, probability) atom of a discrete distribution.
+struct PmfAtom {
+  double value = 0.0;
+  double probability = 0.0;
+};
+
+/// Discrete probability mass function over real values.
+class EmpiricalPmf {
+ public:
+  EmpiricalPmf() = default;
+
+  /// Builds a PMF; probabilities must be non-negative and sum to 1 within
+  /// 1e-6 (they are re-normalized exactly).
+  static Result<EmpiricalPmf> Create(std::vector<PmfAtom> atoms);
+
+  /// Builds the empirical PMF of raw samples (each sample mass 1/n).
+  static Result<EmpiricalPmf> FromSamples(const std::vector<double>& samples);
+
+  /// E[X].
+  double Expectation() const;
+
+  /// Var(X) (population).
+  double Variance() const;
+
+  /// P(X <= x).
+  double CdfAt(double x) const;
+
+  const std::vector<PmfAtom>& atoms() const { return atoms_; }
+
+ private:
+  explicit EmpiricalPmf(std::vector<PmfAtom> atoms) : atoms_(std::move(atoms)) {}
+  std::vector<PmfAtom> atoms_;
+};
+
+/// Fixed-width histogram over [lo, hi) used to coarsen availability samples
+/// into a PMF with `bins` atoms (atom value = bin center).
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  static Result<Histogram> Create(double lo, double hi, int bins);
+
+  /// Adds a sample; out-of-range samples clamp into the edge bins.
+  void Add(double x);
+
+  int64_t total_count() const { return total_; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Converts to a PMF over bin centers; requires at least one sample.
+  Result<EmpiricalPmf> ToPmf() const;
+
+ private:
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0) {}
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_EMPIRICAL_H_

@@ -1,0 +1,72 @@
+#include "src/stats/hypothesis.h"
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/student_t.h"
+
+namespace stratrec::stats {
+namespace {
+
+double TwoSidedPValue(double t, double df) {
+  const double cdf = StudentTCdf(std::fabs(t), df);
+  return 2.0 * (1.0 - cdf);
+}
+
+}  // namespace
+
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    return Status::InvalidArgument("Welch t-test requires n >= 2 per sample");
+  }
+  const double ma = Mean(a).value();
+  const double mb = Mean(b).value();
+  const double va = Variance(a).value();
+  const double vb = Variance(b).value();
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    return Status::InvalidArgument("Welch t-test undefined: zero variance");
+  }
+  TTestResult result;
+  result.mean_difference = ma - mb;
+  result.t_statistic = (ma - mb) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  result.degrees_of_freedom = num / den;
+  result.p_value_two_sided =
+      TwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired t-test requires equal sizes");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("paired t-test requires n >= 2");
+  }
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  const double md = Mean(diffs).value();
+  const double sd = StdDev(diffs).value();
+  if (sd <= 0.0) {
+    return Status::InvalidArgument("paired t-test undefined: zero variance");
+  }
+  const double n = static_cast<double>(diffs.size());
+  TTestResult result;
+  result.mean_difference = md;
+  result.t_statistic = md / (sd / std::sqrt(n));
+  result.degrees_of_freedom = n - 1.0;
+  result.p_value_two_sided =
+      TwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace stratrec::stats

@@ -1,0 +1,38 @@
+// Hypothesis tests used by the evaluation: Welch's unequal-variance t-test
+// (Figure 13's "with statistical significance" comparisons) and the paired
+// t-test (mirrored deployments of the same task).
+#ifndef STRATREC_STATS_HYPOTHESIS_H_
+#define STRATREC_STATS_HYPOTHESIS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::stats {
+
+/// Outcome of a two-sample (or paired) t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value_two_sided = 1.0;
+  double mean_difference = 0.0;  ///< mean(a) - mean(b)
+
+  /// True when the two-sided p-value is below `alpha` (default 5%).
+  bool Significant(double alpha = 0.05) const {
+    return p_value_two_sided < alpha;
+  }
+};
+
+/// Welch's t-test for independent samples with possibly unequal variances.
+/// Requires both samples to have n >= 2 and at least one non-zero variance.
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Paired t-test over equally sized samples (n >= 2); tests whether the mean
+/// of a[i] - b[i] differs from zero.
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_HYPOTHESIS_H_

@@ -1,0 +1,88 @@
+#include "src/stats/linear_regression.h"
+
+#include <cmath>
+
+#include "src/stats/student_t.h"
+
+namespace stratrec::stats {
+
+Result<double> RegressionFit::AlphaHalfWidth(double confidence) const {
+  if (n < 3) {
+    return Status::FailedPrecondition("slope CI requires n >= 3");
+  }
+  const double t = StudentTCriticalTwoSided(confidence,
+                                            static_cast<double>(n - 2));
+  return t * alpha_std_err;
+}
+
+Result<double> RegressionFit::BetaHalfWidth(double confidence) const {
+  if (n < 3) {
+    return Status::FailedPrecondition("intercept CI requires n >= 3");
+  }
+  const double t = StudentTCriticalTwoSided(confidence,
+                                            static_cast<double>(n - 2));
+  return t * beta_std_err;
+}
+
+bool RegressionFit::AlphaCiContains(double value, double confidence) const {
+  auto hw = AlphaHalfWidth(confidence);
+  if (!hw.ok()) return false;
+  return std::fabs(value - alpha) <= *hw;
+}
+
+bool RegressionFit::BetaCiContains(double value, double confidence) const {
+  auto hw = BetaHalfWidth(confidence);
+  if (!hw.ok()) return false;
+  return std::fabs(value - beta) <= *hw;
+}
+
+Result<RegressionFit> FitLinear(const std::vector<double>& xs,
+                                const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  const auto n = static_cast<int64_t>(xs.size());
+  if (n < 2) return Status::InvalidArgument("regression requires n >= 2");
+
+  double sx = 0.0, sy = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return Status::InvalidArgument("regression undefined: all x identical");
+  }
+
+  RegressionFit fit;
+  fit.n = n;
+  fit.alpha = sxy / sxx;
+  fit.beta = my - fit.alpha * mx;
+
+  double sse = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double r = ys[i] - fit.Predict(xs[i]);
+    sse += r * r;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - sse / syy : 1.0;
+  if (n > 2) {
+    const double mse = sse / static_cast<double>(n - 2);
+    fit.residual_std = std::sqrt(mse);
+    fit.alpha_std_err = std::sqrt(mse / sxx);
+    fit.beta_std_err = std::sqrt(
+        mse * (1.0 / static_cast<double>(n) + mx * mx / sxx));
+  }
+  return fit;
+}
+
+}  // namespace stratrec::stats

@@ -1,0 +1,51 @@
+// Ordinary least squares simple linear regression y = alpha * x + beta with
+// inference (confidence intervals, R^2, residual error).
+//
+// This is the estimator behind the paper's Equation 4 / Table 6: deployment
+// parameters are modeled as linear functions of worker availability and the
+// (alpha, beta) coefficients are fitted from historical deployments, with a
+// 90% confidence-interval check.
+#ifndef STRATREC_STATS_LINEAR_REGRESSION_H_
+#define STRATREC_STATS_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::stats {
+
+/// A fitted line with its inference byproducts.
+struct RegressionFit {
+  double alpha = 0.0;        ///< slope
+  double beta = 0.0;         ///< intercept
+  double r_squared = 0.0;    ///< coefficient of determination
+  double residual_std = 0.0; ///< sqrt(SSE / (n - 2)); 0 when n == 2
+  double alpha_std_err = 0.0;
+  double beta_std_err = 0.0;
+  int64_t n = 0;
+
+  /// Predicted y at x.
+  double Predict(double x) const { return alpha * x + beta; }
+
+  /// Two-sided CI half-width for the slope at the given confidence level.
+  /// Requires n >= 3 (inference needs df = n - 2 >= 1).
+  Result<double> AlphaHalfWidth(double confidence) const;
+
+  /// Two-sided CI half-width for the intercept.
+  Result<double> BetaHalfWidth(double confidence) const;
+
+  /// True when `value` lies inside the slope's CI at `confidence`.
+  bool AlphaCiContains(double value, double confidence) const;
+
+  /// True when `value` lies inside the intercept's CI at `confidence`.
+  bool BetaCiContains(double value, double confidence) const;
+};
+
+/// Fits y = alpha*x + beta by OLS. Requires xs.size() == ys.size(), n >= 2,
+/// and xs not all identical.
+Result<RegressionFit> FitLinear(const std::vector<double>& xs,
+                                const std::vector<double>& ys);
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_LINEAR_REGRESSION_H_

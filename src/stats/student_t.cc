@@ -1,0 +1,112 @@
+#include "src/stats/student_t.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace stratrec::stats {
+namespace {
+
+// ln Gamma via Lanczos approximation (g=7, n=9), |error| < 1e-13.
+double LogGamma(double x) {
+  static const double kCoefficients[9] = {
+      0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,  12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoefficients[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoefficients[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kFloor = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFloor) d = kFloor;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFloor) d = kFloor;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFloor) c = kFloor;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFloor) d = kFloor;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFloor) c = kFloor;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly where it converges fast, the
+  // symmetry transformation elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  assert(df > 0.0);
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  assert(p > 0.0 && p < 1.0);
+  assert(df > 0.0);
+  // Bracket, then bisect. CDF is monotone; 1e3 covers any practical quantile
+  // for df >= 1, and we widen if needed.
+  double lo = -8.0, hi = 8.0;
+  while (StudentTCdf(lo, df) > p) lo *= 2.0;
+  while (StudentTCdf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double StudentTCriticalTwoSided(double confidence, double df) {
+  assert(confidence > 0.0 && confidence < 1.0);
+  return StudentTQuantile(0.5 + confidence / 2.0, df);
+}
+
+}  // namespace stratrec::stats

@@ -1,0 +1,29 @@
+// Student's t distribution: CDF and inverse CDF.
+//
+// Needed for regression confidence intervals (Table 6's 90% CI claim) and the
+// significance tests behind Figure 13. Implemented via the regularized
+// incomplete beta function; no external math library required.
+#ifndef STRATREC_STATS_STUDENT_T_H_
+#define STRATREC_STATS_STUDENT_T_H_
+
+namespace stratrec::stats {
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-12.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// P(T <= t) for T ~ Student-t with `df` degrees of freedom (df > 0).
+double StudentTCdf(double t, double df);
+
+/// Inverse CDF (quantile). p in (0, 1), df > 0. Bisection on the CDF,
+/// accurate to ~1e-7 (limited by CDF evaluation noise) — ample for test
+/// statistics.
+double StudentTQuantile(double p, double df);
+
+/// Two-sided critical value t* with P(|T| <= t*) = confidence.
+/// confidence in (0, 1), e.g. 0.90 for the paper's 90% intervals.
+double StudentTCriticalTwoSided(double confidence, double df);
+
+}  // namespace stratrec::stats
+
+#endif  // STRATREC_STATS_STUDENT_T_H_

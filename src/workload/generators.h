@@ -1,0 +1,92 @@
+// Synthetic workload generation for the paper's Section 5.2 experiments.
+//
+// Strategy dimension values are drawn from Uniform[0.5, 1] or
+// Normal(0.75, 0.1); availability-model slopes alpha from Uniform[0.5, 1]
+// with beta tied so the parameter at full availability equals the sampled
+// dimension value; request parameters from Uniform[0.625, 1]. Defaults match
+// the paper: |S| = 10000, m = 10, k = 10, W = 0.5, 10 runs per point.
+#ifndef STRATREC_WORKLOAD_GENERATORS_H_
+#define STRATREC_WORKLOAD_GENERATORS_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/deployment.h"
+#include "src/core/linear_model.h"
+
+namespace stratrec::workload {
+
+/// Distribution of strategy dimension values (paper Section 5.2.2).
+enum class DimDistribution { kUniform, kNormal };
+
+/// "uniform" / "normal".
+const char* DimDistributionName(DimDistribution distribution);
+
+/// Generator knobs, defaulted to the paper's setup.
+struct GeneratorOptions {
+  DimDistribution distribution = DimDistribution::kUniform;
+  double uniform_lo = 0.5;
+  double uniform_hi = 1.0;
+  double normal_mean = 0.75;
+  double normal_std = 0.1;
+  /// Availability-model slope range (paper: alpha ~ U[0.5, 1]).
+  double alpha_lo = 0.5;
+  double alpha_hi = 1.0;
+  /// Availability at which a strategy's parameters equal its sampled
+  /// dimension values (the intercept is beta = dim - alpha * anchor). The
+  /// paper anchors via beta = 1 - alpha, which makes every strategy perfect
+  /// at w = 1 and erases the dimension draws; anchoring at the middle of the
+  /// request range keeps the dimensions meaningful while strategies remain
+  /// deployable at moderate availability.
+  double anchor_availability = 0.625;
+  /// Deployment-request parameter range (paper: [0.625, 1]).
+  double request_lo = 0.625;
+  double request_hi = 1.0;
+};
+
+/// Closed sampling interval.
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Deterministic generator for strategies, profiles and requests.
+class Generator {
+ public:
+  Generator(const GeneratorOptions& options, uint64_t seed);
+
+  /// One dimension value from the configured distribution, clamped to [0,1].
+  double SampleDim();
+
+  /// Concrete strategy parameter vectors (the ADPaR experiments consume
+  /// these directly). Quality/cost/latency are independent dimension draws.
+  std::vector<core::ParamVector> StrategyParams(int count);
+
+  /// Per-strategy linear availability models whose parameters at full
+  /// availability (w = 1) equal freshly sampled dimension values: quality
+  /// and cost rise with availability (alpha ~ U[alpha_lo, alpha_hi]),
+  /// latency falls (alpha ~ -U[alpha_lo, alpha_hi]).
+  std::vector<core::StrategyProfile> Profiles(int count);
+
+  /// Deployment requests with parameters ~ U[request_lo, request_hi] and
+  /// the given cardinality constraint.
+  std::vector<core::DeploymentRequest> Requests(int count, int k);
+
+  /// Requests with per-parameter ranges. The paper samples all three
+  /// parameters from one interval; small strategy catalogs (Figures 15/16
+  /// run with |S| = 30) need requests whose quality demands are modest and
+  /// whose budgets are generous for a meaningful fraction to be serviceable,
+  /// so those benches sample asymmetric ranges through this overload.
+  std::vector<core::DeploymentRequest> RequestsWithRanges(int count, int k,
+                                                          Range quality,
+                                                          Range cost,
+                                                          Range latency);
+
+ private:
+  GeneratorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace stratrec::workload
+
+#endif  // STRATREC_WORKLOAD_GENERATORS_H_

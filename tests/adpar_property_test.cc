@@ -1,0 +1,127 @@
+// Property sweeps establishing AdparExact's exactness: on hundreds of random
+// instances its objective must equal the brute-force optimum, and the
+// baselines must be valid but never better.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/adpar.h"
+#include "src/core/adpar_baselines.h"
+#include "src/workload/generators.h"
+
+namespace stratrec::core {
+namespace {
+
+class AdparPropertyTest
+    : public testing::TestWithParam<
+          std::tuple<int, int, workload::DimDistribution, uint64_t>> {
+ protected:
+  void SetUp() override {
+    const int num_strategies = std::get<0>(GetParam());
+    k_ = std::get<1>(GetParam());
+    workload::GeneratorOptions options;
+    options.distribution = std::get<2>(GetParam());
+    workload::Generator generator(options, std::get<3>(GetParam()));
+    strategies_ = generator.StrategyParams(num_strategies);
+    auto requests = generator.Requests(5, k_);
+    for (const auto& r : requests) requests_.push_back(r.thresholds);
+  }
+
+  int CountCovered(const ParamVector& d) const {
+    int covered = 0;
+    for (const auto& s : strategies_) covered += Satisfies(s, d) ? 1 : 0;
+    return covered;
+  }
+
+  std::vector<ParamVector> strategies_;
+  std::vector<ParamVector> requests_;
+  int k_ = 1;
+};
+
+TEST_P(AdparPropertyTest, ExactMatchesBruteForce) {
+  for (const ParamVector& d : requests_) {
+    auto exact = AdparExact(strategies_, d, k_);
+    auto brute = AdparBrute(strategies_, d, k_);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+    EXPECT_NEAR(exact->squared_distance, brute->squared_distance, 1e-9)
+        << "d=" << d.ToString() << " k=" << k_;
+  }
+}
+
+TEST_P(AdparPropertyTest, AlternativeCoversAtLeastK) {
+  for (const ParamVector& d : requests_) {
+    auto exact = AdparExact(strategies_, d, k_);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(CountCovered(exact->alternative), k_);
+    EXPECT_EQ(exact->strategies.size(), static_cast<size_t>(k_));
+    // Reported strategies do satisfy the alternative.
+    for (size_t j : exact->strategies) {
+      EXPECT_TRUE(Satisfies(strategies_[j], exact->alternative));
+    }
+  }
+}
+
+TEST_P(AdparPropertyTest, RelaxationNeverTightens) {
+  for (const ParamVector& d : requests_) {
+    auto exact = AdparExact(strategies_, d, k_);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(exact->alternative.quality, d.quality + 1e-12);
+    EXPECT_GE(exact->alternative.cost, d.cost - 1e-12);
+    EXPECT_GE(exact->alternative.latency, d.latency - 1e-12);
+  }
+}
+
+TEST_P(AdparPropertyTest, BaselinesValidAndNeverBeatExact) {
+  for (const ParamVector& d : requests_) {
+    auto exact = AdparExact(strategies_, d, k_);
+    ASSERT_TRUE(exact.ok());
+    for (auto* baseline : {&AdparBaseline2, &AdparBaseline3}) {
+      auto result = (*baseline)(strategies_, d, k_);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_GE(CountCovered(result->alternative), k_);
+      EXPECT_GE(result->squared_distance, exact->squared_distance - 1e-9);
+    }
+  }
+}
+
+TEST_P(AdparPropertyTest, DistanceMonotoneInK) {
+  // Larger k can only push the alternative further from the request.
+  for (const ParamVector& d : requests_) {
+    double previous = -1.0;
+    for (int k = 1; k <= k_; ++k) {
+      auto exact = AdparExact(strategies_, d, k);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_GE(exact->squared_distance, previous - 1e-12);
+      previous = exact->squared_distance;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, AdparPropertyTest,
+    testing::Combine(testing::Values(8, 15, 24),
+                     testing::Values(1, 3, 6),
+                     testing::Values(workload::DimDistribution::kUniform,
+                                     workload::DimDistribution::kNormal),
+                     testing::Values(101u, 202u, 303u)));
+
+// Superset monotonicity needs its own fixture: adding strategies to the
+// catalog can only improve (not worsen) the optimal alternative.
+TEST(AdparMonotonicity, MoreStrategiesNeverHurt) {
+  workload::Generator generator({}, 777);
+  const auto strategies = generator.StrategyParams(30);
+  const ParamVector d{0.9, 0.7, 0.7};
+  double previous = 1e9;
+  for (size_t n = 5; n <= strategies.size(); n += 5) {
+    const std::vector<ParamVector> subset(strategies.begin(),
+                                          strategies.begin() + n);
+    auto exact = AdparExact(subset, d, 5);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(exact->squared_distance, previous + 1e-12);
+    previous = exact->squared_distance;
+  }
+}
+
+}  // namespace
+}  // namespace stratrec::core

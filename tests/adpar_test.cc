@@ -1,0 +1,200 @@
+// Unit tests for ADPaR-Exact and its baselines (Section 4, Section 5.2.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/adpar.h"
+#include "src/core/adpar_baselines.h"
+
+namespace stratrec::core {
+namespace {
+
+const std::vector<ParamVector> kTable1 = {
+    {0.50, 0.25, 0.28},
+    {0.75, 0.33, 0.28},
+    {0.80, 0.50, 0.14},
+    {0.88, 0.58, 0.14},
+};
+
+TEST(AdparExactTest, ZeroDistanceWhenAlreadySatisfiable) {
+  const ParamVector d{0.7, 0.83, 0.28};  // d3: satisfiable with k = 3
+  auto result = AdparExact(kTable1, d, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->squared_distance, 0.0);
+  EXPECT_DOUBLE_EQ(result->distance, 0.0);
+  EXPECT_EQ(result->alternative.quality, d.quality);
+  EXPECT_EQ(result->alternative.cost, d.cost);
+  EXPECT_EQ(result->alternative.latency, d.latency);
+  EXPECT_EQ(result->strategies.size(), 3u);
+}
+
+TEST(AdparExactTest, InfeasibleWhenKExceedsCatalog) {
+  auto result = AdparExact(kTable1, {0.5, 0.5, 0.5}, 5);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+  EXPECT_FALSE(AdparExact(kTable1, {0.5, 0.5, 0.5}, 0).ok());
+  EXPECT_FALSE(AdparExact({}, {0.5, 0.5, 0.5}, 1).ok());
+}
+
+TEST(AdparExactTest, KEqualsCatalogCoversEverything) {
+  auto result = AdparExact(kTable1, {0.9, 0.1, 0.1}, 4);
+  ASSERT_TRUE(result.ok());
+  // Must cover all four strategies: quality <= 0.5, cost >= 0.58,
+  // latency >= 0.28.
+  EXPECT_NEAR(result->alternative.quality, 0.50, 1e-12);
+  EXPECT_NEAR(result->alternative.cost, 0.58, 1e-12);
+  EXPECT_NEAR(result->alternative.latency, 0.28, 1e-12);
+  EXPECT_EQ(result->strategies.size(), 4u);
+}
+
+TEST(AdparExactTest, AlternativeAlwaysCoversK) {
+  auto result = AdparExact(kTable1, {0.99, 0.01, 0.01}, 2);
+  ASSERT_TRUE(result.ok());
+  int covered = 0;
+  for (const auto& s : kTable1) {
+    covered += Satisfies(s, result->alternative) ? 1 : 0;
+  }
+  EXPECT_GE(covered, 2);
+}
+
+TEST(AdparExactTest, RelaxationIsOneDirectional) {
+  const ParamVector d{0.8, 0.2, 0.28};
+  auto result = AdparExact(kTable1, d, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->alternative.quality, d.quality + 1e-12);
+  EXPECT_GE(result->alternative.cost, d.cost - 1e-12);
+  EXPECT_GE(result->alternative.latency, d.latency - 1e-12);
+}
+
+TEST(AdparExactTest, CoordinatesAreTight) {
+  // Every coordinate of d' equals the original coordinate or some strategy's
+  // coordinate (the discretization that makes the sweep exact).
+  const ParamVector d{0.8, 0.2, 0.28};
+  auto result = AdparExact(kTable1, d, 3);
+  ASSERT_TRUE(result.ok());
+  auto is_candidate = [&](double v, int axis) {
+    if (axis == 0 && v == d.quality) return true;
+    if (axis == 1 && v == d.cost) return true;
+    if (axis == 2 && v == d.latency) return true;
+    for (const auto& s : kTable1) {
+      const double coord = axis == 0 ? s.quality : (axis == 1 ? s.cost : s.latency);
+      if (v == coord) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(is_candidate(result->alternative.quality, 0));
+  EXPECT_TRUE(is_candidate(result->alternative.cost, 1));
+  EXPECT_TRUE(is_candidate(result->alternative.latency, 2));
+}
+
+TEST(AdparExactTest, LatencyOnlyRelaxation) {
+  // All strategies fast enough except the latency bound is brutal.
+  const ParamVector d{0.5, 0.6, 0.10};
+  auto result = AdparExact(kTable1, d, 2);
+  ASSERT_TRUE(result.ok());
+  // Best: keep quality/cost, relax latency to 0.14 (s3, s4 qualify on
+  // quality >= 0.5... but s4 costs 0.58 <= 0.6, s3 0.5 <= 0.6: both fit).
+  EXPECT_NEAR(result->alternative.latency, 0.14, 1e-12);
+  EXPECT_NEAR(result->alternative.cost, 0.6, 1e-12);
+  EXPECT_NEAR(result->alternative.quality, 0.5, 1e-12);
+  EXPECT_NEAR(result->squared_distance, 0.04 * 0.04, 1e-12);
+}
+
+TEST(AdparExactTest, PrefersCheapestAxisCombination) {
+  // Two ways to cover k=1: lower quality a lot or raise cost a little.
+  const std::vector<ParamVector> strategies = {
+      {0.2, 0.10, 0.1},  // would need quality 0.8 -> 0.2 (huge)
+      {0.9, 0.15, 0.1},  // needs cost 0.10 -> 0.15 (tiny)
+  };
+  auto result = AdparExact(strategies, {0.8, 0.10, 0.2}, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->alternative.cost, 0.15, 1e-12);
+  EXPECT_NEAR(result->alternative.quality, 0.8, 1e-12);
+  EXPECT_NEAR(result->squared_distance, 0.05 * 0.05, 1e-12);
+}
+
+TEST(AdparExactTest, DuplicateStrategiesCountSeparately) {
+  const std::vector<ParamVector> strategies = {
+      {0.6, 0.3, 0.2}, {0.6, 0.3, 0.2}, {0.6, 0.3, 0.2}};
+  auto result = AdparExact(strategies, {0.9, 0.1, 0.1}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategies.size(), 3u);
+  EXPECT_NEAR(result->alternative.quality, 0.6, 1e-12);
+  EXPECT_NEAR(result->alternative.cost, 0.3, 1e-12);
+  EXPECT_NEAR(result->alternative.latency, 0.2, 1e-12);
+}
+
+TEST(AdparBruteTest, MatchesExactOnTable1) {
+  for (int k = 1; k <= 4; ++k) {
+    for (const ParamVector& d :
+         {ParamVector{0.4, 0.17, 0.28}, ParamVector{0.8, 0.2, 0.28},
+          ParamVector{0.95, 0.05, 0.05}}) {
+      auto exact = AdparExact(kTable1, d, k);
+      auto brute = AdparBrute(kTable1, d, k);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(exact->squared_distance, brute->squared_distance, 1e-12)
+          << "k=" << k << " d=" << d.ToString();
+    }
+  }
+}
+
+TEST(AdparBruteTest, CombinationGuard) {
+  std::vector<ParamVector> many(64, ParamVector{0.5, 0.5, 0.5});
+  auto result = AdparBrute(many, {0.9, 0.1, 0.1}, 20, /*max_combinations=*/1000);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Baseline2Test, SingleAxisWhenSufficient) {
+  // d1 from the paper: relaxing cost alone to 0.5 covers {s1, s2, s3}.
+  auto result = AdparBaseline2(kTable1, {0.4, 0.17, 0.28}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->alternative.cost, 0.5, 1e-12);
+  EXPECT_NEAR(result->alternative.quality, 0.4, 1e-12);
+  EXPECT_NEAR(result->alternative.latency, 0.28, 1e-12);
+}
+
+TEST(Baseline2Test, FallsBackToMultiAxisWhenNeeded) {
+  // d2: no single axis suffices for k = 3 (quality alone: cost cap 0.2
+  // admits nobody; cost alone: only s3, s4 have quality >= 0.8).
+  auto result = AdparBaseline2(kTable1, {0.8, 0.2, 0.28}, 3);
+  ASSERT_TRUE(result.ok());
+  int covered = 0;
+  for (const auto& s : kTable1) {
+    covered += Satisfies(s, result->alternative) ? 1 : 0;
+  }
+  EXPECT_GE(covered, 3);
+  // Never better than exact.
+  auto exact = AdparExact(kTable1, {0.8, 0.2, 0.28}, 3);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(result->squared_distance, exact->squared_distance - 1e-12);
+}
+
+TEST(Baseline3Test, ReturnsValidCoveringAlternative) {
+  for (int k = 1; k <= 4; ++k) {
+    auto result = AdparBaseline3(kTable1, {0.8, 0.2, 0.28}, k);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    int covered = 0;
+    for (const auto& s : kTable1) {
+      covered += Satisfies(s, result->alternative) ? 1 : 0;
+    }
+    EXPECT_GE(covered, k);
+    EXPECT_EQ(result->strategies.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(BaselinesTest, RejectBadInput) {
+  EXPECT_FALSE(AdparBrute(kTable1, {0.5, 0.5, 0.5}, 0).ok());
+  EXPECT_FALSE(AdparBaseline2(kTable1, {0.5, 0.5, 0.5}, 9).ok());
+  EXPECT_FALSE(AdparBaseline3({}, {0.5, 0.5, 0.5}, 1).ok());
+}
+
+TEST(AdparResultTest, DistanceIsSqrtOfSquared) {
+  auto result = AdparExact(kTable1, {0.8, 0.2, 0.28}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distance, std::sqrt(result->squared_distance), 1e-15);
+}
+
+}  // namespace
+}  // namespace stratrec::core

@@ -1,0 +1,175 @@
+// Tests for the operation-level collaborative-document simulator: document
+// semantics, session semantics per Structure/Organization, and the emergent
+// edit-war effect.
+#include <gtest/gtest.h>
+
+#include "src/platform/collab_doc.h"
+#include "src/stats/descriptive.h"
+
+namespace stratrec::platform {
+namespace {
+
+core::StageSpec Stage(const char* name) {
+  return core::ParseStageName(name).value();
+}
+
+TEST(CollabDocument, AppliesAndLogs) {
+  CollabDocument doc(3);
+  EXPECT_EQ(doc.num_segments(), 3u);
+  EXPECT_FALSE(doc.SegmentWritten(0));
+  EXPECT_DOUBLE_EQ(doc.MeanQuality(), 0.0);
+
+  EditOperation create;
+  create.worker_id = 1;
+  create.segment = 0;
+  create.kind = EditOperation::Kind::kCreate;
+  create.resulting_quality = 0.6;
+  ASSERT_TRUE(doc.Apply(create).ok());
+  EXPECT_TRUE(doc.SegmentWritten(0));
+  EXPECT_DOUBLE_EQ(doc.SegmentQuality(0), 0.6);
+  EXPECT_NEAR(doc.MeanQuality(), 0.2, 1e-12);
+
+  EditOperation refine = create;
+  refine.kind = EditOperation::Kind::kRefine;
+  refine.resulting_quality = 0.8;
+  ASSERT_TRUE(doc.Apply(refine).ok());
+  EXPECT_DOUBLE_EQ(doc.SegmentQuality(0), 0.8);
+  EXPECT_EQ(doc.log().size(), 2u);
+  EXPECT_EQ(doc.CountOverrides(), 0);
+}
+
+TEST(CollabDocument, ValidatesOperations) {
+  CollabDocument doc(1);
+  EditOperation op;
+  op.segment = 5;
+  op.kind = EditOperation::Kind::kCreate;
+  EXPECT_EQ(doc.Apply(op).code(), StatusCode::kOutOfRange);
+
+  op.segment = 0;
+  op.kind = EditOperation::Kind::kRefine;
+  EXPECT_EQ(doc.Apply(op).code(), StatusCode::kFailedPrecondition);
+
+  op.kind = EditOperation::Kind::kCreate;
+  ASSERT_TRUE(doc.Apply(op).ok());
+  EXPECT_EQ(doc.Apply(op).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CollabDocument, QualityClamped) {
+  CollabDocument doc(1);
+  EditOperation op;
+  op.segment = 0;
+  op.kind = EditOperation::Kind::kCreate;
+  op.resulting_quality = 1.7;
+  ASSERT_TRUE(doc.Apply(op).ok());
+  EXPECT_DOUBLE_EQ(doc.SegmentQuality(0), 1.0);
+}
+
+TEST(RunSession, Validation) {
+  CollabDocument doc(3);
+  Rng rng(1);
+  EXPECT_FALSE(RunSession(Stage("SEQ-COL-CRO"), {}, true, {}, &doc, &rng).ok());
+  CollabDocument empty(0);
+  EXPECT_FALSE(
+      RunSession(Stage("SEQ-COL-CRO"), {0.8}, true, {}, &empty, &rng).ok());
+  EXPECT_FALSE(
+      RunSession(Stage("SEQ-COL-CRO"), {0.8}, true, {}, nullptr, &rng).ok());
+}
+
+TEST(RunSession, SequentialCollaborativeNeverConflicts) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    CollabDocument doc(3);
+    auto outcome = RunSession(Stage("SEQ-COL-CRO"), {0.9, 0.8, 0.85}, false,
+                              {}, &doc, &rng);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->num_overrides, 0);
+    EXPECT_EQ(outcome->num_edits, 9);  // 3 workers x 3 segments
+    EXPECT_GT(outcome->quality, 0.0);
+  }
+}
+
+TEST(RunSession, UnguidedSimColProducesOverrides) {
+  Rng rng(3);
+  int unguided_overrides = 0, guided_overrides = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    CollabDocument unguided_doc(3), guided_doc(3);
+    auto unguided = RunSession(Stage("SIM-COL-CRO"), {0.9, 0.85, 0.8, 0.9},
+                               false, {}, &unguided_doc, &rng);
+    auto guided = RunSession(Stage("SIM-COL-CRO"), {0.9, 0.85, 0.8, 0.9},
+                             true, {}, &guided_doc, &rng);
+    ASSERT_TRUE(unguided.ok());
+    ASSERT_TRUE(guided.ok());
+    unguided_overrides += unguided->num_overrides;
+    guided_overrides += guided->num_overrides;
+  }
+  EXPECT_GT(unguided_overrides, 2 * guided_overrides);
+  EXPECT_GT(unguided_overrides, 0);
+}
+
+TEST(RunSession, EditWarDegradesQuality) {
+  Rng rng(4);
+  std::vector<double> guided_quality, unguided_quality;
+  for (int trial = 0; trial < 300; ++trial) {
+    CollabDocument guided_doc(3), unguided_doc(3);
+    auto guided = RunSession(Stage("SIM-COL-CRO"), {0.9, 0.9, 0.9}, true, {},
+                             &guided_doc, &rng);
+    auto unguided = RunSession(Stage("SIM-COL-CRO"), {0.9, 0.9, 0.9}, false,
+                               {}, &unguided_doc, &rng);
+    ASSERT_TRUE(guided.ok());
+    ASSERT_TRUE(unguided.ok());
+    guided_quality.push_back(guided->quality);
+    unguided_quality.push_back(unguided->quality);
+  }
+  EXPECT_GT(stats::Mean(guided_quality).value(),
+            stats::Mean(unguided_quality).value() + 0.01);
+}
+
+TEST(RunSession, IndependentKeepsBestCopyWithoutConflicts) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    CollabDocument doc(2);
+    auto outcome = RunSession(Stage("SIM-IND-CRO"), {0.95, 0.4, 0.6}, false,
+                              {}, &doc, &rng);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->num_overrides, 0);
+    // Total edits span all three private copies.
+    EXPECT_EQ(outcome->num_edits, 6);
+    // The winning copy is at least as good as a weak worker's solo output.
+    EXPECT_GT(outcome->quality, 0.4);
+  }
+}
+
+TEST(RunSession, MoreSkilledCrowdYieldsHigherQuality) {
+  Rng rng(6);
+  stats::RunningStats strong, weak;
+  for (int trial = 0; trial < 200; ++trial) {
+    CollabDocument strong_doc(3), weak_doc(3);
+    auto s = RunSession(Stage("SEQ-IND-CRO"), {0.95, 0.95, 0.95}, true, {},
+                        &strong_doc, &rng);
+    auto w = RunSession(Stage("SEQ-IND-CRO"), {0.55, 0.55, 0.55}, true, {},
+                        &weak_doc, &rng);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(w.ok());
+    strong.Add(s->quality);
+    weak.Add(w->quality);
+  }
+  EXPECT_GT(strong.mean(), weak.mean() + 0.2);
+}
+
+TEST(RunSession, RefinementIsMonotoneForSequentialWork) {
+  // In a sequential collaborative session every operation after the create
+  // is an informed refine, so segment quality never decreases.
+  Rng rng(7);
+  CollabDocument doc(2);
+  auto outcome =
+      RunSession(Stage("SEQ-COL-CRO"), {0.6, 0.9, 0.7}, true, {}, &doc, &rng);
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> last(doc.num_segments(), 0.0);
+  for (const EditOperation& op : doc.log()) {
+    EXPECT_GE(op.resulting_quality, last[op.segment] - 1e-12);
+    last[op.segment] = op.resulting_quality;
+  }
+}
+
+}  // namespace
+}  // namespace stratrec::platform

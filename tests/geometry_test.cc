@@ -1,0 +1,207 @@
+// Unit + property tests for src/geometry: Point3/Rect3, KSmallestTracker,
+// and the R-tree (validated against brute-force scans).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geometry/k_smallest.h"
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+#include "src/geometry/rtree.h"
+
+namespace stratrec::geo {
+namespace {
+
+TEST(Point3Test, IndexingAndDominance) {
+  Point3 p{0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(p[0], 0.1);
+  EXPECT_DOUBLE_EQ(p[1], 0.2);
+  EXPECT_DOUBLE_EQ(p[2], 0.3);
+  p[2] = 0.4;
+  EXPECT_DOUBLE_EQ(p.z, 0.4);
+
+  EXPECT_TRUE((Point3{0, 0, 0}).DominatedBy({1, 1, 1}));
+  EXPECT_TRUE((Point3{1, 1, 1}).DominatedBy({1, 1, 1}));
+  EXPECT_FALSE((Point3{1, 0, 0}).DominatedBy({0.5, 1, 1}));
+}
+
+TEST(Point3Test, Distances) {
+  const Point3 a{0, 0, 0}, b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistanceTo(b), 9.0);
+}
+
+TEST(Rect3Test, EmptyAndFromPoint) {
+  EXPECT_TRUE(Rect3::Empty().IsEmpty());
+  const Rect3 r = Rect3::FromPoint({0.5, 0.5, 0.5});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains({0.5, 0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);
+}
+
+TEST(Rect3Test, ContainsAndIntersects) {
+  const Rect3 box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(box.Contains({0, 1, 0.5}));
+  EXPECT_FALSE(box.Contains({1.1, 0.5, 0.5}));
+  EXPECT_TRUE(box.Intersects({{0.5, 0.5, 0.5}, {2, 2, 2}}));
+  EXPECT_TRUE(box.Intersects({{1, 1, 1}, {2, 2, 2}}));  // touching corner
+  EXPECT_FALSE(box.Intersects({{1.01, 0, 0}, {2, 1, 1}}));
+  EXPECT_FALSE(box.Intersects(Rect3::Empty()));
+  EXPECT_TRUE(box.ContainsRect({{0.2, 0.2, 0.2}, {0.8, 0.8, 0.8}}));
+  EXPECT_FALSE(box.ContainsRect({{0.2, 0.2, 0.2}, {1.8, 0.8, 0.8}}));
+}
+
+TEST(Rect3Test, ExtendAndUnion) {
+  Rect3 box = Rect3::Empty();
+  box.Extend({0.5, 0.5, 0.5});
+  box.Extend({1.0, 0.0, 0.25});
+  EXPECT_TRUE(box.Contains({0.75, 0.25, 0.4}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.5 * 0.5 * 0.25);
+  EXPECT_DOUBLE_EQ(box.Margin(), 0.5 + 0.5 + 0.25);
+
+  const Rect3 other{{2, 2, 2}, {3, 3, 3}};
+  const Rect3 u = Union(box, other);
+  EXPECT_TRUE(u.ContainsRect(box));
+  EXPECT_TRUE(u.ContainsRect(other));
+  EXPECT_GT(box.Enlargement(other), 0.0);
+  EXPECT_DOUBLE_EQ(box.Enlargement(box), 0.0);
+}
+
+TEST(KSmallest, TracksKthSmallest) {
+  KSmallestTracker tracker(3);
+  EXPECT_FALSE(tracker.Full());
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) tracker.Push(v);
+  ASSERT_TRUE(tracker.Full());
+  EXPECT_DOUBLE_EQ(tracker.KthSmallest(), 3.0);
+  EXPECT_EQ(tracker.SortedValues(), (std::vector<double>{1.0, 2.0, 3.0}));
+  tracker.Push(0.5);
+  EXPECT_DOUBLE_EQ(tracker.KthSmallest(), 2.0);
+}
+
+TEST(KSmallest, DuplicatesRetained) {
+  KSmallestTracker tracker(2);
+  tracker.Push(1.0);
+  tracker.Push(1.0);
+  tracker.Push(1.0);
+  EXPECT_DOUBLE_EQ(tracker.KthSmallest(), 1.0);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.Query({{0, 0, 0}, {1, 1, 1}}).empty());
+  EXPECT_EQ(tree.Count({{0, 0, 0}, {1, 1, 1}}), 0u);
+}
+
+TEST(RTreeTest, SingleInsertQuery) {
+  RTree tree;
+  tree.Insert({0.5, 0.5, 0.5}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  auto ids = tree.Query({{0, 0, 0}, {1, 1, 1}});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 7);
+  EXPECT_TRUE(tree.Query({{0.6, 0, 0}, {1, 1, 1}}).empty());
+}
+
+TEST(RTreeTest, BoundaryInclusive) {
+  RTree tree;
+  tree.Insert({0.5, 0.5, 0.5}, 1);
+  EXPECT_EQ(tree.Count({{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}), 1u);
+}
+
+class RTreePropertyTest
+    : public testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RTreePropertyTest, MatchesBruteForce) {
+  const int n = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  Rng rng(seed);
+
+  RTree tree;
+  std::vector<Point3> points;
+  for (int i = 0; i < n; ++i) {
+    const Point3 p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    points.push_back(p);
+    tree.Insert(p, i);
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Point3 a{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    Point3 b{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const Rect3 box{{std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)},
+                    {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)}};
+    std::vector<int64_t> expected;
+    for (int i = 0; i < n; ++i) {
+      if (box.Contains(points[i])) expected.push_back(i);
+    }
+    auto actual = tree.Query(box);
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(tree.Count(box), expected.size());
+  }
+}
+
+TEST_P(RTreePropertyTest, StructuralInvariants) {
+  const int n = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  Rng rng(seed ^ 0xabcdef);
+
+  RTree tree;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert({rng.Uniform(), rng.Uniform(), rng.Uniform()}, i);
+  }
+
+  // Root subtree count equals total size; every node box is non-empty for a
+  // non-empty tree; leaf depth equals height - 1.
+  size_t root_count = 0;
+  int max_depth = -1;
+  int min_leaf_depth = 1 << 20;
+  int max_leaf_depth = -1;
+  tree.VisitNodes([&](const NodeSummary& node) {
+    if (node.depth == 0) root_count = node.count;
+    max_depth = std::max(max_depth, node.depth);
+    if (node.is_leaf) {
+      min_leaf_depth = std::min(min_leaf_depth, node.depth);
+      max_leaf_depth = std::max(max_leaf_depth, node.depth);
+    }
+    if (n > 0) {
+      EXPECT_FALSE(node.mbb.IsEmpty());
+    }
+  });
+  EXPECT_EQ(root_count, static_cast<size_t>(n));
+  if (n > 0) {
+    EXPECT_EQ(min_leaf_depth, max_leaf_depth);  // balanced
+    EXPECT_EQ(max_leaf_depth, tree.Height() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RTreePropertyTest,
+    testing::Combine(testing::Values(1, 5, 17, 64, 200, 1000),
+                     testing::Values(1u, 2u, 3u)));
+
+TEST(RTreeTest, DuplicatePointsAllReported) {
+  RTree tree;
+  for (int i = 0; i < 20; ++i) tree.Insert({0.5, 0.5, 0.5}, i);
+  EXPECT_EQ(tree.Count({{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}), 20u);
+  EXPECT_EQ(tree.Query({{0, 0, 0}, {1, 1, 1}}).size(), 20u);
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree tree;
+  tree.Insert({0.1, 0.2, 0.3}, 42);
+  RTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1u);
+  auto ids = moved.Query({{0, 0, 0}, {1, 1, 1}});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 42);
+}
+
+}  // namespace
+}  // namespace stratrec::geo

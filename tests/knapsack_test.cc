@@ -1,0 +1,114 @@
+// Unit + property tests for the shared knapsack machinery.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/knapsack.h"
+
+namespace stratrec::core {
+namespace {
+
+KnapsackItem Item(size_t index, double weight, double value) {
+  KnapsackItem item;
+  item.index = index;
+  item.weight = weight;
+  item.value = value;
+  item.sort_value = value;
+  return item;
+}
+
+TEST(Knapsack, EmptyInput) {
+  EXPECT_TRUE(GreedyKnapsack({}, 1.0, {}).empty());
+  auto exact = BruteForceKnapsack({}, 1.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+}
+
+TEST(Knapsack, TakesEverythingThatFits) {
+  const std::vector<KnapsackItem> items = {Item(0, 0.3, 1.0), Item(1, 0.4, 1.0),
+                                           Item(2, 0.2, 1.0)};
+  const auto chosen = GreedyKnapsack(items, 1.0, {});
+  EXPECT_EQ(chosen.size(), 3u);
+  EXPECT_NEAR(TotalWeight(chosen), 0.9, 1e-12);
+  EXPECT_NEAR(TotalValue(chosen), 3.0, 1e-12);
+}
+
+TEST(Knapsack, ZeroWeightItemsAlwaysTaken) {
+  const std::vector<KnapsackItem> items = {Item(0, 0.0, 0.1),
+                                           Item(1, 0.5, 10.0)};
+  const auto chosen = GreedyKnapsack(items, 0.0, {});
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0].index, 0u);
+}
+
+TEST(Knapsack, GuardRescuesBigItem) {
+  // Density greedy takes the small dense item; the guard must return the
+  // big one.
+  const std::vector<KnapsackItem> items = {Item(0, 0.05, 0.06),
+                                           Item(1, 1.0, 0.9)};
+  GreedyKnapsackOptions no_guard;
+  no_guard.single_item_guard = false;
+  EXPECT_NEAR(TotalValue(GreedyKnapsack(items, 1.0, no_guard)), 0.06, 1e-12);
+
+  GreedyKnapsackOptions with_guard;
+  with_guard.single_item_guard = true;
+  EXPECT_NEAR(TotalValue(GreedyKnapsack(items, 1.0, with_guard)), 0.9, 1e-12);
+}
+
+TEST(Knapsack, SortValueOverridesValueOrdering) {
+  // Two items, only one fits. value prefers item 0, sort_value item 1.
+  std::vector<KnapsackItem> items = {Item(0, 0.6, 1.0), Item(1, 0.6, 0.5)};
+  items[1].sort_value = 10.0;
+  GreedyKnapsackOptions options;
+  options.single_item_guard = false;
+  options.use_sort_value = true;
+  const auto chosen = GreedyKnapsack(items, 0.6, options);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0].index, 1u);
+}
+
+TEST(Knapsack, DeterministicTieBreaks) {
+  const std::vector<KnapsackItem> items = {Item(2, 0.5, 1.0), Item(0, 0.5, 1.0),
+                                           Item(1, 0.5, 1.0)};
+  const auto chosen = GreedyKnapsack(items, 0.5, {});
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0].index, 0u);  // smallest index wins the tie
+}
+
+TEST(Knapsack, BruteForceGuardsSize) {
+  std::vector<KnapsackItem> many(26, Item(0, 0.1, 1.0));
+  EXPECT_FALSE(BruteForceKnapsack(many, 1.0).ok());
+  EXPECT_TRUE(BruteForceKnapsack(many, 1.0, /*max_items=*/26).ok());
+}
+
+class KnapsackPropertyTest
+    : public testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(KnapsackPropertyTest, GreedyWithGuardIsHalfApproximation) {
+  const int n = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i) {
+      items.push_back(Item(static_cast<size_t>(i), rng.Uniform(0.01, 0.6),
+                           rng.Uniform(0.1, 1.0)));
+    }
+    const double capacity = rng.Uniform(0.2, 1.5);
+    auto exact = BruteForceKnapsack(items, capacity);
+    ASSERT_TRUE(exact.ok());
+    GreedyKnapsackOptions guard;
+    guard.single_item_guard = true;
+    const auto greedy = GreedyKnapsack(items, capacity, guard);
+    EXPECT_GE(TotalValue(greedy), 0.5 * TotalValue(*exact) - 1e-9);
+    EXPECT_LE(TotalValue(greedy), TotalValue(*exact) + 1e-9);
+    EXPECT_LE(TotalWeight(greedy), capacity + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KnapsackPropertyTest,
+                         testing::Combine(testing::Values(4, 8, 14),
+                                          testing::Values(5u, 6u, 7u)));
+
+}  // namespace
+}  // namespace stratrec::core

@@ -1,0 +1,136 @@
+// End-to-end checks against the paper's worked Example 1 (Table 1) and the
+// Section 2.2 / Section 4 walkthroughs.
+#include <gtest/gtest.h>
+
+#include "src/core/adpar.h"
+#include "src/core/adpar_baselines.h"
+#include "src/core/types.h"
+
+namespace stratrec::core {
+namespace {
+
+// Table 1: strategies s1..s4 as (quality, cost, latency).
+std::vector<ParamVector> Table1Strategies() {
+  return {
+      {0.50, 0.25, 0.28},  // s1 = SIM-COL-CRO
+      {0.75, 0.33, 0.28},  // s2 = SEQ-IND-CRO
+      {0.80, 0.50, 0.14},  // s3 = SIM-IND-CRO
+      {0.88, 0.58, 0.14},  // s4 = SIM-IND-HYB
+  };
+}
+
+constexpr ParamVector kD1{0.4, 0.17, 0.28};
+constexpr ParamVector kD2{0.8, 0.20, 0.28};
+constexpr ParamVector kD3{0.7, 0.83, 0.28};
+
+TEST(PaperExample, D3IsDirectlySatisfiable) {
+  const auto strategies = Table1Strategies();
+  // Section 2.2: "only d3 could be fully served and s2, s3, s4 are
+  // recommended".
+  std::vector<size_t> suitable;
+  for (size_t j = 0; j < strategies.size(); ++j) {
+    if (Satisfies(strategies[j], kD3)) suitable.push_back(j);
+  }
+  EXPECT_EQ(suitable, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(PaperExample, D1AndD2AreNotSatisfiableWithKThree) {
+  const auto strategies = Table1Strategies();
+  for (const ParamVector& d : {kD1, kD2}) {
+    int covered = 0;
+    for (const auto& s : strategies) covered += Satisfies(s, d) ? 1 : 0;
+    EXPECT_LT(covered, 3) << d.ToString();
+  }
+}
+
+TEST(PaperExample, AdparRecoversPaperAlternativeForD1) {
+  // Section 2.3: "For d1, the alternative recommendation should be
+  // (0.4, 0.5, 0.28) with three strategies s1, s2, s3."
+  const auto strategies = Table1Strategies();
+  auto result = AdparExact(strategies, kD1, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->alternative.quality, 0.4, 1e-12);
+  EXPECT_NEAR(result->alternative.cost, 0.5, 1e-12);
+  EXPECT_NEAR(result->alternative.latency, 0.28, 1e-12);
+  EXPECT_EQ(result->strategies, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_NEAR(result->squared_distance, 0.33 * 0.33, 1e-12);
+}
+
+TEST(PaperExample, AdparOptimalForD2BeatsThePapersStatedAlternative) {
+  // Section 4.1 claims d2's alternative is (0.75, 0.5, 0.28) covering
+  // {s1, s2, s3}; that box actually covers only {s2, s3} (s1.quality = 0.5
+  // < 0.75), so it is not a valid k = 3 answer. The true optimum under
+  // Equation 3 is (0.75, 0.58, 0.28) covering {s2, s3, s4}:
+  //   quality 0.8 -> 0.75 (min quality of the subset), cost 0.2 -> 0.58
+  //   (max cost), latency unchanged. Distance^2 = 0.05^2 + 0.38^2 = 0.1469.
+  const auto strategies = Table1Strategies();
+  auto result = AdparExact(strategies, kD2, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->alternative.quality, 0.75, 1e-12);
+  EXPECT_NEAR(result->alternative.cost, 0.58, 1e-12);
+  EXPECT_NEAR(result->alternative.latency, 0.28, 1e-12);
+  EXPECT_NEAR(result->squared_distance, 0.1469, 1e-12);
+  EXPECT_EQ(result->strategies, (std::vector<size_t>{1, 2, 3}));
+
+  // The paper's stated box indeed covers only two strategies.
+  const ParamVector papers_claim{0.75, 0.5, 0.28};
+  int covered = 0;
+  for (const auto& s : strategies) covered += Satisfies(s, papers_claim) ? 1 : 0;
+  EXPECT_EQ(covered, 2);
+
+  // And brute force agrees with the sweep.
+  auto brute = AdparBrute(strategies, kD2, 3);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_DOUBLE_EQ(brute->squared_distance, result->squared_distance);
+}
+
+TEST(PaperExample, AdparTraceMatchesTable3Relaxations) {
+  // Table 3 (step 1) lists the per-strategy relaxation each parameter of d2
+  // requires: cost {0.3, 0.05... wait — the paper's Table 3 is for d2 with
+  // cost relaxations {0.05, 0.13, 0.3, 0.38} across strategies; verify the
+  // relaxation machinery against the unambiguous entries: quality needs no
+  // relaxation for s3/s4 (quality >= 0.8) and cost needs s.cost - 0.2.
+  const auto strategies = Table1Strategies();
+  AdparTrace trace;
+  auto result = AdparExact(strategies, kD2, 3, &trace);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(trace.relaxations.size(), 4u);
+
+  auto axis = [](ParamAxis a) { return static_cast<int>(a); };
+  // Quality relaxation = max(0, d.quality - s.quality).
+  EXPECT_NEAR(trace.relaxations[0].by_axis[axis(ParamAxis::kQuality)], 0.30,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[1].by_axis[axis(ParamAxis::kQuality)], 0.05,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[2].by_axis[axis(ParamAxis::kQuality)], 0.0,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[3].by_axis[axis(ParamAxis::kQuality)], 0.0,
+              1e-12);
+  // Cost relaxation = max(0, s.cost - d.cost).
+  EXPECT_NEAR(trace.relaxations[0].by_axis[axis(ParamAxis::kCost)], 0.05,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[1].by_axis[axis(ParamAxis::kCost)], 0.13,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[2].by_axis[axis(ParamAxis::kCost)], 0.30,
+              1e-12);
+  EXPECT_NEAR(trace.relaxations[3].by_axis[axis(ParamAxis::kCost)], 0.38,
+              1e-12);
+  // Latency needs no relaxation anywhere (all <= 0.28).
+  for (const auto& rel : trace.relaxations) {
+    EXPECT_DOUBLE_EQ(rel.by_axis[axis(ParamAxis::kLatency)], 0.0);
+  }
+  // Step 2: sorted relaxations are non-decreasing.
+  for (size_t i = 1; i < trace.sorted.size(); ++i) {
+    EXPECT_LE(trace.sorted[i - 1].relaxation, trace.sorted[i].relaxation);
+  }
+}
+
+TEST(PaperExample, IntroPmfExpectation) {
+  // Section 1: 70% chance of 7% of workers + 30% chance of 2% -> 5.5%.
+  // (Exercised via the availability model in availability_test.cc; here we
+  // just sanity-check the arithmetic the paper uses.)
+  EXPECT_NEAR(0.7 * 0.07 + 0.3 * 0.02, 0.055, 1e-12);
+}
+
+}  // namespace
+}  // namespace stratrec::core

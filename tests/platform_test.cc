@@ -1,0 +1,351 @@
+// Unit tests for the platform simulator: workers, pools, editing dynamics,
+// ground truth, execution, experts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/linear_model.h"
+#include "src/platform/edit_model.h"
+#include "src/platform/execution.h"
+#include "src/platform/expert.h"
+#include "src/platform/ground_truth.h"
+#include "src/platform/task.h"
+#include "src/platform/worker.h"
+#include "src/platform/worker_pool.h"
+#include "src/stats/descriptive.h"
+
+namespace stratrec::platform {
+namespace {
+
+core::StageSpec SeqIndCro() {
+  return core::ParseStageName("SEQ-IND-CRO").value();
+}
+core::StageSpec SimColCro() {
+  return core::ParseStageName("SIM-COL-CRO").value();
+}
+
+TEST(TaskTest, NamesAndSamples) {
+  EXPECT_STREQ(TaskTypeName(TaskType::kSentenceTranslation), "translation");
+  EXPECT_STREQ(TaskTypeName(TaskType::kTextCreation), "creation");
+  for (TaskType type :
+       {TaskType::kSentenceTranslation, TaskType::kTextCreation}) {
+    const auto tasks = SampleTasks(type);
+    EXPECT_EQ(tasks.size(), 3u);  // paper: 3 tasks per HIT
+    for (const auto& task : tasks) EXPECT_EQ(task.type, type);
+  }
+}
+
+TEST(TaskTest, HitDefaultsMatchPaper) {
+  const Hit hit = MakeHit("h", TaskType::kTextCreation,
+                          SampleTasks(TaskType::kTextCreation));
+  EXPECT_EQ(hit.max_workers, 10);
+  EXPECT_DOUBLE_EQ(hit.pay_per_worker_usd, 2.0);
+  EXPECT_DOUBLE_EQ(hit.allotted_hours, 2.0);
+  EXPECT_DOUBLE_EQ(hit.deployment_hours, 72.0);
+}
+
+TEST(WorkerTest, FiltersMatchPaperRecruitment) {
+  WorkerProfile worker;
+  worker.hit_approval_rate = 0.95;
+  worker.region = Region::kIndia;
+  worker.bachelors_degree = false;
+
+  // Translation: US/India, approval > 90%.
+  EXPECT_TRUE(PassesFilter(worker, FilterForTaskType(
+                                       TaskType::kSentenceTranslation)));
+  // Creation: US + Bachelor's.
+  EXPECT_FALSE(PassesFilter(worker, FilterForTaskType(TaskType::kTextCreation)));
+  worker.region = Region::kUs;
+  worker.bachelors_degree = true;
+  EXPECT_TRUE(PassesFilter(worker, FilterForTaskType(TaskType::kTextCreation)));
+  worker.hit_approval_rate = 0.80;
+  EXPECT_FALSE(PassesFilter(worker, FilterForTaskType(TaskType::kTextCreation)));
+}
+
+TEST(WorkerTest, SampledProfilesAreInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const WorkerProfile worker = SampleWorker(i, &rng);
+    EXPECT_GE(worker.skill, 0.3);
+    EXPECT_LE(worker.skill, 1.0);
+    EXPECT_GE(worker.hit_approval_rate, 0.5);
+    EXPECT_LE(worker.hit_approval_rate, 1.0);
+    for (double aptitude : worker.type_aptitude) {
+      EXPECT_GE(aptitude, 0.75);
+      EXPECT_LE(aptitude, 1.0);
+    }
+  }
+}
+
+TEST(WorkerTest, QualificationSelectsSkilledWorkers) {
+  Rng rng(4);
+  WorkerProfile expert;
+  expert.skill = 0.98;
+  expert.type_aptitude[0] = expert.type_aptitude[1] = 1.0;
+  WorkerProfile novice;
+  novice.skill = 0.40;
+  novice.type_aptitude[0] = novice.type_aptitude[1] = 1.0;
+
+  int expert_passes = 0, novice_passes = 0;
+  for (int i = 0; i < 200; ++i) {
+    expert_passes +=
+        PassesQualification(expert, TaskType::kTextCreation, &rng) ? 1 : 0;
+    novice_passes +=
+        PassesQualification(novice, TaskType::kTextCreation, &rng) ? 1 : 0;
+  }
+  EXPECT_GT(expert_passes, 180);
+  EXPECT_EQ(novice_passes, 0);
+}
+
+TEST(WorkerPoolTest, EarlyWeekIsBusiest) {
+  // Figure 11: window 2 (Mon-Thu) shows the highest availability.
+  WorkerPool pool(WorkerPoolOptions{}, 42);
+  Rng rng(7);
+  double means[kNumWindows];
+  for (int w = 0; w < kNumWindows; ++w) {
+    double total = 0.0;
+    for (int r = 0; r < 50; ++r) {
+      total += pool.ObserveAvailability(static_cast<DeploymentWindow>(w),
+                                        TaskType::kSentenceTranslation, &rng);
+    }
+    means[w] = total / 50.0;
+  }
+  EXPECT_GT(means[1], means[2]);  // early week > mid week
+  EXPECT_GT(means[2], means[0]);  // mid week > weekend
+}
+
+TEST(WorkerPoolTest, ObservedAvailabilityTracksGroundTruth) {
+  WorkerPool pool(WorkerPoolOptions{}, 43);
+  Rng rng(8);
+  for (int w = 0; w < kNumWindows; ++w) {
+    const auto window = static_cast<DeploymentWindow>(w);
+    double total = 0.0;
+    const int runs = 100;
+    for (int r = 0; r < runs; ++r) {
+      total += pool.ObserveAvailability(window, TaskType::kTextCreation, &rng);
+    }
+    EXPECT_NEAR(total / runs, pool.TrueIntensity(window), 0.03);
+  }
+}
+
+TEST(WorkerPoolTest, EstimateAvailabilityProducesUsableModel) {
+  WorkerPool pool(WorkerPoolOptions{}, 44);
+  Rng rng(9);
+  auto model = pool.EstimateAvailability(DeploymentWindow::kEarlyWeek,
+                                         TaskType::kSentenceTranslation,
+                                         /*deployments=*/30, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->ExpectedAvailability(),
+              pool.TrueIntensity(DeploymentWindow::kEarlyWeek), 0.05);
+  EXPECT_FALSE(pool.EstimateAvailability(DeploymentWindow::kEarlyWeek,
+                                         TaskType::kSentenceTranslation, 0,
+                                         &rng)
+                   .ok());
+}
+
+TEST(WorkerPoolTest, SuitablePoolsDifferPerTaskType) {
+  WorkerPool pool(WorkerPoolOptions{}, 45);
+  // Creation requires US + Bachelor's: strictly harder filter than
+  // translation's US/India.
+  EXPECT_GT(pool.SuitableWorkerCount(TaskType::kSentenceTranslation),
+            pool.SuitableWorkerCount(TaskType::kTextCreation));
+  EXPECT_GT(pool.SuitableWorkerCount(TaskType::kTextCreation), 0u);
+}
+
+TEST(WorkerPoolTest, PresenceRecordsWithinWindow) {
+  WorkerPool pool(WorkerPoolOptions{}, 46);
+  Rng rng(10);
+  const auto present = pool.SimulateWindow(DeploymentWindow::kWeekend,
+                                           TaskType::kSentenceTranslation,
+                                           &rng);
+  EXPECT_FALSE(present.empty());
+  for (const auto& record : present) {
+    EXPECT_GE(record.arrival_hours, 0.0);
+    EXPECT_LE(record.departure_hours, 72.0);
+    EXPECT_LE(record.arrival_hours, record.departure_hours);
+  }
+}
+
+TEST(EditModelTest, UnguidedProducesMoreEdits) {
+  Rng rng(11);
+  EditModelOptions options;
+  double guided_total = 0.0, unguided_total = 0.0;
+  const int runs = 4000;
+  for (int i = 0; i < runs; ++i) {
+    guided_total += SimulateEditing(SimColCro(), true, options, &rng).num_edits;
+    unguided_total +=
+        SimulateEditing(SimColCro(), false, options, &rng).num_edits;
+  }
+  // Paper: 3.45 vs 6.25 average edits.
+  EXPECT_NEAR(guided_total / runs, options.guided_edit_rate, 0.15);
+  EXPECT_NEAR(unguided_total / runs, options.unguided_edit_rate, 0.15);
+}
+
+TEST(EditModelTest, ConflictsOnlyInSimultaneousCollaborative) {
+  Rng rng(12);
+  EditModelOptions options;
+  for (const core::StageSpec& stage : core::AllStageSpecs()) {
+    int conflicts = 0;
+    for (int i = 0; i < 300; ++i) {
+      conflicts += SimulateEditing(stage, false, options, &rng).num_conflicts;
+    }
+    const bool concurrent_shared =
+        stage.structure == core::Structure::kSimultaneous &&
+        stage.organization == core::Organization::kCollaborative;
+    if (concurrent_shared) {
+      EXPECT_GT(conflicts, 0) << core::StageName(stage);
+    } else {
+      EXPECT_EQ(conflicts, 0) << core::StageName(stage);
+    }
+  }
+}
+
+TEST(EditModelTest, PenaltyBoundedAndMonotone) {
+  Rng rng(13);
+  EditModelOptions options;
+  for (int i = 0; i < 1000; ++i) {
+    const EditOutcome outcome =
+        SimulateEditing(SimColCro(), false, options, &rng);
+    EXPECT_GE(outcome.quality_penalty, 0.0);
+    EXPECT_LE(outcome.quality_penalty, options.max_penalty);
+    EXPECT_GE(outcome.num_edits, 1);
+    EXPECT_LE(outcome.num_conflicts, outcome.num_edits);
+  }
+}
+
+TEST(GroundTruthTest, Table6CoefficientsEmbeddedVerbatim) {
+  const auto translation_seq =
+      TrueProfile(TaskType::kSentenceTranslation, SeqIndCro());
+  EXPECT_DOUBLE_EQ(translation_seq.quality.alpha, 0.09);
+  EXPECT_DOUBLE_EQ(translation_seq.quality.beta, 0.85);
+  EXPECT_DOUBLE_EQ(translation_seq.cost.alpha, 1.00);
+  EXPECT_DOUBLE_EQ(translation_seq.cost.beta, 0.00);
+  EXPECT_DOUBLE_EQ(translation_seq.latency.alpha, -0.98);
+  EXPECT_DOUBLE_EQ(translation_seq.latency.beta, 1.40);
+
+  const auto creation_sim = TrueProfile(TaskType::kTextCreation, SimColCro());
+  EXPECT_DOUBLE_EQ(creation_sim.quality.alpha, 0.19);
+  EXPECT_DOUBLE_EQ(creation_sim.quality.beta, 0.70);
+  EXPECT_DOUBLE_EQ(creation_sim.latency.alpha, -1.38);
+  EXPECT_DOUBLE_EQ(creation_sim.latency.beta, 1.81);
+}
+
+TEST(GroundTruthTest, AllStagesHaveSaneSurfaces) {
+  for (TaskType type :
+       {TaskType::kSentenceTranslation, TaskType::kTextCreation}) {
+    for (const core::StageSpec& stage : core::AllStageSpecs()) {
+      const auto profile = TrueProfile(type, stage);
+      // Quality rises with availability, latency falls, cost rises.
+      EXPECT_GT(profile.quality.alpha, 0.0) << core::StageName(stage);
+      EXPECT_LT(profile.latency.alpha, 0.0) << core::StageName(stage);
+      EXPECT_GT(profile.cost.alpha, 0.0) << core::StageName(stage);
+      // Parameters stay within [0, 1] over the realistic availability range.
+      for (double w : {0.6, 0.8, 1.0}) {
+        const auto params = profile.EstimateParams(w);
+        EXPECT_GE(params.quality, 0.0);
+        EXPECT_LE(params.quality, 1.0);
+        EXPECT_GE(params.latency, 0.0);
+        EXPECT_LE(params.latency, 1.0);
+      }
+    }
+  }
+}
+
+TEST(GroundTruthTest, HybridRaisesLowAvailabilityQuality) {
+  const core::StageSpec crowd = core::ParseStageName("SIM-IND-CRO").value();
+  const core::StageSpec hybrid = core::ParseStageName("SIM-IND-HYB").value();
+  const auto crowd_profile =
+      TrueProfile(TaskType::kSentenceTranslation, crowd);
+  const auto hybrid_profile =
+      TrueProfile(TaskType::kSentenceTranslation, hybrid);
+  // The machine floor helps most when few workers are available.
+  EXPECT_GT(hybrid_profile.quality.Eval(0.3), crowd_profile.quality.Eval(0.3));
+}
+
+TEST(ExpertTest, PanelScoresTrackTruth) {
+  ExpertPanel panel(3, 0.04, 99);
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) total += panel.Score(0.8);
+  EXPECT_NEAR(total / 500.0, 0.8, 0.01);
+  EXPECT_EQ(panel.num_experts(), 3);
+}
+
+TEST(ExpertTest, AggregateScoreValidation) {
+  ExpertPanel panel(2, 0.04, 100);
+  EXPECT_FALSE(panel.AggregateScore({}).ok());
+  auto score = panel.AggregateScore({0.7, 0.9});
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(*score, 0.8, 0.15);
+}
+
+TEST(ExecutionTest, OutcomesFollowGroundTruthSurfaces) {
+  WorkerPool pool(WorkerPoolOptions{}, 50);
+  ExecutionSimulator simulator(&pool, ExecutionOptions{}, 51);
+  const Hit hit = MakeHit("h", TaskType::kSentenceTranslation,
+                          SampleTasks(TaskType::kSentenceTranslation));
+  const auto truth = TrueProfile(TaskType::kSentenceTranslation, SeqIndCro());
+
+  std::vector<double> qualities;
+  for (int i = 0; i < 200; ++i) {
+    const auto outcome =
+        simulator.ExecuteAtAvailability(hit, SeqIndCro(), 0.8, true);
+    qualities.push_back(outcome.observed.quality);
+  }
+  EXPECT_NEAR(stats::Mean(qualities).value(), truth.quality.Eval(0.8), 0.02);
+}
+
+TEST(ExecutionTest, EditWarDegradesUnguidedCollaborativeQuality) {
+  WorkerPool pool(WorkerPoolOptions{}, 52);
+  ExecutionSimulator simulator(&pool, ExecutionOptions{}, 53);
+  const Hit hit = MakeHit("h", TaskType::kTextCreation,
+                          SampleTasks(TaskType::kTextCreation));
+  double guided = 0.0, unguided = 0.0;
+  const int runs = 300;
+  for (int i = 0; i < runs; ++i) {
+    guided +=
+        simulator.ExecuteAtAvailability(hit, SimColCro(), 0.8, true)
+            .observed.quality;
+    unguided +=
+        simulator.ExecuteAtAvailability(hit, SimColCro(), 0.8, false)
+            .observed.quality;
+  }
+  EXPECT_GT(guided / runs, unguided / runs + 0.02);
+}
+
+TEST(ExecutionTest, CollectObservationsSpansWindows) {
+  WorkerPool pool(WorkerPoolOptions{}, 54);
+  ExecutionSimulator simulator(&pool, ExecutionOptions{}, 55);
+  const Hit hit = MakeHit("h", TaskType::kSentenceTranslation,
+                          SampleTasks(TaskType::kSentenceTranslation));
+  const auto observations = simulator.CollectObservations(hit, SeqIndCro(), 5);
+  EXPECT_EQ(observations.size(), 15u);  // 5 repetitions x 3 windows
+  // Availability varies across observations (different windows).
+  double lo = 1.0, hi = 0.0;
+  for (const auto& obs : observations) {
+    lo = std::min(lo, obs.availability);
+    hi = std::max(hi, obs.availability);
+  }
+  EXPECT_GT(hi - lo, 0.05);
+}
+
+TEST(ExecutionTest, FittedModelsRecoverTable6) {
+  // The full Figure 12 / Table 6 pipeline: simulate deployments, fit linear
+  // models, check the truth lies within the 99% CI (90% in the paper; wider
+  // here because this is a fixed-seed unit test).
+  WorkerPool pool(WorkerPoolOptions{}, 56);
+  ExecutionSimulator simulator(&pool, ExecutionOptions{}, 57);
+  const Hit hit = MakeHit("h", TaskType::kSentenceTranslation,
+                          SampleTasks(TaskType::kSentenceTranslation));
+  const auto observations =
+      simulator.CollectObservations(hit, SeqIndCro(), 40);
+  auto fitted = core::FitProfile(observations);
+  ASSERT_TRUE(fitted.ok());
+  const auto truth = TrueProfile(TaskType::kSentenceTranslation, SeqIndCro());
+  EXPECT_NEAR(fitted->profile.quality.alpha, truth.quality.alpha, 0.08);
+  EXPECT_NEAR(fitted->profile.cost.alpha, truth.cost.alpha, 0.08);
+  EXPECT_NEAR(fitted->profile.latency.alpha, truth.latency.alpha, 0.12);
+  EXPECT_TRUE(fitted->cost_fit.AlphaCiContains(truth.cost.alpha, 0.99));
+}
+
+}  // namespace
+}  // namespace stratrec::platform

@@ -1,0 +1,119 @@
+// Tests for the skyline / k-skyband machinery and the ADPaR pruning wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/core/skyline.h"
+#include "src/workload/generators.h"
+
+namespace stratrec::core {
+namespace {
+
+const std::vector<ParamVector> kTable1 = {
+    {0.50, 0.25, 0.28},
+    {0.75, 0.33, 0.28},
+    {0.80, 0.50, 0.14},
+    {0.88, 0.58, 0.14},
+};
+
+TEST(Dominance, Semantics) {
+  // Higher quality, lower cost, lower latency dominates.
+  EXPECT_TRUE(Dominates({0.9, 0.2, 0.2}, {0.8, 0.3, 0.3}));
+  // Equal on all axes: no domination.
+  EXPECT_FALSE(Dominates({0.8, 0.3, 0.3}, {0.8, 0.3, 0.3}));
+  // Strictly better on one axis, equal elsewhere: dominates.
+  EXPECT_TRUE(Dominates({0.8, 0.2, 0.3}, {0.8, 0.3, 0.3}));
+  // Trade-off: neither dominates.
+  EXPECT_FALSE(Dominates({0.9, 0.5, 0.2}, {0.8, 0.3, 0.3}));
+  EXPECT_FALSE(Dominates({0.8, 0.3, 0.3}, {0.9, 0.5, 0.2}));
+}
+
+TEST(SkylineTest, Table1StrategiesAreAllIncomparable) {
+  // Table 1's four strategies trade quality against cost/latency; none
+  // dominates another, so the skyline is everything.
+  const auto counts = DominanceCounts(kTable1);
+  for (int count : counts) EXPECT_EQ(count, 0);
+  EXPECT_EQ(Skyline(kTable1).size(), 4u);
+}
+
+TEST(SkylineTest, DominatedPointExcluded) {
+  std::vector<ParamVector> strategies = kTable1;
+  strategies.push_back({0.45, 0.35, 0.30});  // dominated by s1 and s2
+  const auto skyline = Skyline(strategies);
+  EXPECT_EQ(skyline.size(), 4u);
+  EXPECT_TRUE(std::find(skyline.begin(), skyline.end(), 4u) == skyline.end());
+  const auto counts = DominanceCounts(strategies);
+  EXPECT_EQ(counts[4], 2);
+}
+
+TEST(SkylineTest, KSkybandGrowsWithK) {
+  std::vector<ParamVector> strategies = kTable1;
+  strategies.push_back({0.45, 0.35, 0.30});  // 2 dominators
+  auto band1 = KSkyband(strategies, 1);
+  auto band2 = KSkyband(strategies, 2);
+  auto band3 = KSkyband(strategies, 3);
+  ASSERT_TRUE(band1.ok() && band2.ok() && band3.ok());
+  EXPECT_EQ(band1->size(), 4u);
+  EXPECT_EQ(band2->size(), 4u);  // 2 dominators: still outside the 2-band
+  EXPECT_EQ(band3->size(), 5u);  // fewer than 3 dominators: inside
+  EXPECT_FALSE(KSkyband(strategies, 0).ok());
+}
+
+TEST(SkylineTest, MatchesBruteForceOnRandomInputs) {
+  workload::Generator generator({}, 555);
+  const auto strategies = generator.StrategyParams(80);
+  const auto counts = DominanceCounts(strategies);
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    int expected = 0;
+    for (size_t j = 0; j < strategies.size(); ++j) {
+      expected += Dominates(strategies[j], strategies[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(counts[i], expected) << "point " << i;
+  }
+}
+
+class SkybandPruningTest
+    : public testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(SkybandPruningTest, PrunedAdparIsIdenticalToFull) {
+  const int num_strategies = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  workload::Generator generator({}, std::get<2>(GetParam()));
+  const auto strategies = generator.StrategyParams(num_strategies);
+  const auto requests = generator.Requests(6, k);
+  for (const auto& request : requests) {
+    auto full = AdparExact(strategies, request.thresholds, k);
+    auto pruned = AdparExactSkyband(strategies, request.thresholds, k);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_NEAR(full->squared_distance, pruned->squared_distance, 1e-12)
+        << "k=" << k << " d=" << request.thresholds.ToString();
+    // Pruned output indices refer to the original list and cover d'.
+    for (size_t j : pruned->strategies) {
+      ASSERT_LT(j, strategies.size());
+      EXPECT_TRUE(Satisfies(strategies[j], pruned->alternative));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, SkybandPruningTest,
+    testing::Combine(testing::Values(20, 60, 150), testing::Values(1, 3, 7),
+                     testing::Values(0x51u, 0x52u, 0x53u)));
+
+TEST(SkybandPruningTest2, PruningShrinksDenseCatalogs) {
+  // Clustered catalogs have many dominated strategies; the band should be
+  // much smaller than the input.
+  workload::GeneratorOptions options;
+  options.distribution = workload::DimDistribution::kNormal;
+  workload::Generator generator(options, 717);
+  const auto strategies = generator.StrategyParams(500);
+  auto band = KSkyband(strategies, 3);
+  ASSERT_TRUE(band.ok());
+  EXPECT_LT(band->size(), strategies.size() / 2);
+  EXPECT_GE(band->size(), 3u);
+}
+
+}  // namespace
+}  // namespace stratrec::core

@@ -1,0 +1,142 @@
+// Tests for the presence-trace analysis and bootstrap intervals.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/platform/trace.h"
+#include "src/stats/bootstrap.h"
+#include "src/stats/descriptive.h"
+
+namespace stratrec {
+namespace {
+
+using platform::PresenceInterval;
+using platform::PresenceTrace;
+
+TEST(PresenceTrace, Validation) {
+  EXPECT_FALSE(PresenceTrace::Create({}, 0.0).ok());
+  EXPECT_FALSE(
+      PresenceTrace::Create({{1, -1.0, 2.0}}, 72.0).ok());  // negative start
+  EXPECT_FALSE(
+      PresenceTrace::Create({{1, 1.0, 100.0}}, 72.0).ok());  // beyond window
+  EXPECT_FALSE(PresenceTrace::Create({{1, 5.0, 2.0}}, 72.0).ok());  // inverted
+  EXPECT_TRUE(PresenceTrace::Create({}, 72.0).ok());  // empty trace is fine
+}
+
+TEST(PresenceTrace, ConcurrencyProfileStepFunction) {
+  auto trace = PresenceTrace::Create(
+      {{1, 0.0, 4.0}, {2, 2.0, 6.0}, {3, 5.0, 8.0}}, 10.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->ConcurrencyAt(1.0), 1);
+  EXPECT_EQ(trace->ConcurrencyAt(3.0), 2);
+  EXPECT_EQ(trace->ConcurrencyAt(4.5), 1);
+  EXPECT_EQ(trace->ConcurrencyAt(5.5), 2);
+  EXPECT_EQ(trace->ConcurrencyAt(9.0), 0);
+  EXPECT_EQ(trace->PeakConcurrency(), 2);
+  EXPECT_NEAR(trace->WorkerHours(), 4.0 + 4.0 + 3.0, 1e-12);
+  EXPECT_NEAR(trace->AverageConcurrency(), 1.1, 1e-12);
+
+  const auto profile = trace->ConcurrencyProfile();
+  ASSERT_FALSE(profile.empty());
+  // Levels change at endpoints; profile ends at level 0.
+  EXPECT_EQ(profile.back().second, 0);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LT(profile[i - 1].first, profile[i].first);
+    EXPECT_NE(profile[i - 1].second, profile[i].second);
+  }
+}
+
+TEST(PresenceTrace, TouchingIntervalsDoNotDoubleCount) {
+  // Departure at t and arrival at t: the departing worker leaves first.
+  auto trace =
+      PresenceTrace::Create({{1, 0.0, 2.0}, {2, 2.0, 4.0}}, 4.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->PeakConcurrency(), 1);
+}
+
+TEST(PresenceTrace, AvailabilityFractionCountsDistinctWorkers) {
+  auto trace = PresenceTrace::Create(
+      {{7, 0.0, 1.0}, {7, 2.0, 3.0}, {9, 0.5, 1.5}}, 10.0);
+  ASSERT_TRUE(trace.ok());
+  auto fraction = trace->AvailabilityFraction(10);
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_DOUBLE_EQ(*fraction, 0.2);  // workers 7 and 9 of 10
+  EXPECT_FALSE(trace->AvailabilityFraction(0).ok());
+}
+
+TEST(PresenceTrace, FromPoolRecordsMatchesPoolAvailability) {
+  platform::WorkerPool pool(platform::WorkerPoolOptions{}, 11);
+  Rng rng(12);
+  const auto records = pool.SimulateWindow(
+      platform::DeploymentWindow::kEarlyWeek,
+      platform::TaskType::kSentenceTranslation, &rng);
+  auto trace = PresenceTrace::FromPresenceRecords(records, 72.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_intervals(), records.size());
+  auto fraction = trace->AvailabilityFraction(pool.SuitableWorkerCount(
+      platform::TaskType::kSentenceTranslation));
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_GT(*fraction, 0.5);  // early week is busy
+  EXPECT_LE(*fraction, 1.0);
+  EXPECT_GT(trace->PeakConcurrency(), 0);
+}
+
+TEST(Bootstrap, Validation) {
+  EXPECT_FALSE(stats::BootstrapMeanCi({}, 0.9, 1000, 1).ok());
+  EXPECT_FALSE(stats::BootstrapMeanCi({1.0, 2.0}, 1.5, 1000, 1).ok());
+  EXPECT_FALSE(stats::BootstrapMeanCi({1.0, 2.0}, 0.9, 10, 1).ok());
+}
+
+TEST(Bootstrap, IntervalContainsPointEstimate) {
+  const std::vector<double> sample = {0.6, 0.7, 0.65, 0.72, 0.68, 0.63};
+  auto ci = stats::BootstrapMeanCi(sample, 0.9, 2000, 7);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->point, stats::Mean(sample).value(), 1e-12);
+  EXPECT_LE(ci->lo, ci->point);
+  EXPECT_GE(ci->hi, ci->point);
+  EXPECT_TRUE(ci->Contains(ci->point));
+}
+
+TEST(Bootstrap, CoverageApproximatelyNominal) {
+  Rng rng(99);
+  int contained = 0;
+  const int runs = 200;
+  for (int r = 0; r < runs; ++r) {
+    std::vector<double> sample;
+    for (int i = 0; i < 25; ++i) sample.push_back(rng.Normal(0.5, 0.1));
+    auto ci = stats::BootstrapMeanCi(sample, 0.9, 500,
+                                     static_cast<uint64_t>(r) + 1);
+    ASSERT_TRUE(ci.ok());
+    contained += ci->Contains(0.5) ? 1 : 0;
+  }
+  const double coverage = static_cast<double>(contained) / runs;
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0, 100.0};
+  auto ci = stats::BootstrapCi(
+      sample,
+      [](const std::vector<double>& xs) {
+        return stats::Median(xs).value_or(0.0);
+      },
+      0.9, 1000, 3);
+  ASSERT_TRUE(ci.ok());
+  // The point estimate is the sample median, robust to the outlier.
+  EXPECT_DOUBLE_EQ(ci->point, 3.0);
+  EXPECT_TRUE(ci->Contains(3.0));
+  EXPECT_GE(ci->lo, 1.0);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const std::vector<double> sample = {0.1, 0.5, 0.9, 0.3};
+  auto a = stats::BootstrapMeanCi(sample, 0.9, 500, 42);
+  auto b = stats::BootstrapMeanCi(sample, 0.9, 500, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->lo, b->lo);
+  EXPECT_DOUBLE_EQ(a->hi, b->hi);
+}
+
+}  // namespace
+}  // namespace stratrec

@@ -1,0 +1,190 @@
+// Unit tests for the workforce-requirement computation (Section 3.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/workforce.h"
+
+namespace stratrec::core {
+namespace {
+
+StrategyProfile TypicalProfile() {
+  StrategyProfile profile;
+  profile.quality = {0.25, 0.55};   // rises with availability
+  profile.cost = {0.4125, 0.0};     // rises with availability
+  profile.latency = {-0.15, 0.40};  // falls with availability
+  return profile;
+}
+
+TEST(WorkforceCellTest, MinimalPolicyTakesBindingLowerBound) {
+  // d3 of Example 1 against the quickstart's s2 profile: quality needs
+  // w >= 0.6, latency needs w >= 0.8, cost allows any w <= 1 -> 0.8.
+  const ParamVector d3{0.7, 0.83, 0.28};
+  const WorkforceCell cell = ComputeWorkforceCell(
+      TypicalProfile(), d3, WorkforcePolicy::kMinimalWorkforce);
+  ASSERT_TRUE(cell.feasible);
+  EXPECT_NEAR(cell.requirement, 0.8, 1e-12);
+}
+
+TEST(WorkforceCellTest, PaperPolicySpendsFullBudget) {
+  // Under the literal max-of-three, the cost equality (w = 0.83/0.4125 ≈
+  // 2.01) dominates and is clamped into the feasible interval [0.8, 1].
+  const ParamVector d3{0.7, 0.83, 0.28};
+  const WorkforceCell cell = ComputeWorkforceCell(
+      TypicalProfile(), d3, WorkforcePolicy::kPaperMaxOfThree);
+  ASSERT_TRUE(cell.feasible);
+  EXPECT_NEAR(cell.requirement, 1.0, 1e-12);
+}
+
+TEST(WorkforceCellTest, InfeasibleWhenQualityUnreachable) {
+  // Quality tops out at 0.8 (w = 1) but the request wants 0.9.
+  const ParamVector demanding{0.9, 1.0, 1.0};
+  const WorkforceCell cell = ComputeWorkforceCell(
+      TypicalProfile(), demanding, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_FALSE(cell.feasible);
+  EXPECT_TRUE(std::isinf(cell.requirement));
+}
+
+TEST(WorkforceCellTest, InfeasibleWhenBudgetTooTight) {
+  // Latency needs w >= 0.8 but cost cap allows only w <= 0.2/0.4125 ≈ 0.48.
+  const ParamVector cheap{0.0, 0.2, 0.28};
+  const WorkforceCell cell = ComputeWorkforceCell(
+      TypicalProfile(), cheap, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_FALSE(cell.feasible);
+}
+
+TEST(WorkforceCellTest, ConstantModelsActAsGates) {
+  StrategyProfile constant;
+  constant.quality = {0.0, 0.75};
+  constant.cost = {0.0, 0.3};
+  constant.latency = {0.0, 0.2};
+  // Thresholds met by the constants: zero workforce required.
+  WorkforceCell cell = ComputeWorkforceCell(
+      constant, {0.7, 0.4, 0.3}, WorkforcePolicy::kMinimalWorkforce);
+  ASSERT_TRUE(cell.feasible);
+  EXPECT_DOUBLE_EQ(cell.requirement, 0.0);
+  // Quality constant below the bound: infeasible at any workforce.
+  cell = ComputeWorkforceCell(constant, {0.8, 0.4, 0.3},
+                              WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_FALSE(cell.feasible);
+}
+
+TEST(WorkforceCellTest, RequirementAboveOneIsInfeasible) {
+  StrategyProfile slow;
+  slow.quality = {0.2, 0.0};  // quality 0.2 even with every worker
+  slow.cost = {0.1, 0.0};
+  slow.latency = {-0.1, 0.5};
+  const WorkforceCell cell = ComputeWorkforceCell(
+      slow, {0.5, 1.0, 1.0}, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_FALSE(cell.feasible);  // needs w = 2.5
+}
+
+TEST(WorkforceCellTest, AtypicalSlopeSigns) {
+  // A strategy whose quality *decreases* with availability (e.g. congestion)
+  // turns the quality bound into an upper bound on w.
+  StrategyProfile odd;
+  odd.quality = {-0.5, 0.9};   // q(0)=0.9, q(1)=0.4
+  odd.cost = {0.5, 0.0};
+  odd.latency = {-0.2, 0.4};
+  // quality >= 0.7 -> w <= 0.4 ; latency <= 0.4 -> w >= 0; feasible.
+  const WorkforceCell cell = ComputeWorkforceCell(
+      odd, {0.7, 1.0, 0.4}, WorkforcePolicy::kMinimalWorkforce);
+  ASSERT_TRUE(cell.feasible);
+  EXPECT_NEAR(cell.requirement, 0.0, 1e-12);
+  // But demanding latency <= 0.3 needs w >= 0.5 > 0.4: infeasible.
+  EXPECT_FALSE(ComputeWorkforceCell(odd, {0.7, 1.0, 0.3},
+                                    WorkforcePolicy::kMinimalWorkforce)
+                   .feasible);
+}
+
+class WorkforceMatrixTest : public testing::Test {
+ protected:
+  WorkforceMatrixTest() {
+    // Three strategies with staggered quality requirements.
+    for (double beta : {0.55, 0.60, 0.68}) {
+      StrategyProfile profile;
+      profile.quality = {0.25, beta};
+      profile.cost = {0.5, 0.0};
+      profile.latency = {-0.2, 0.3};
+      profiles_.push_back(profile);
+    }
+    requests_.push_back({"d1", {0.7, 1.0, 0.3}, 2});
+  }
+  std::vector<StrategyProfile> profiles_;
+  std::vector<DeploymentRequest> requests_;
+};
+
+TEST_F(WorkforceMatrixTest, CellsMatchDirectComputation) {
+  const auto matrix = WorkforceMatrix::Compute(
+      requests_, profiles_, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_EQ(matrix.num_requests(), 1u);
+  EXPECT_EQ(matrix.num_strategies(), 3u);
+  // quality lower bounds: (0.7-0.55)/0.25=0.6, 0.4, 0.08.
+  EXPECT_NEAR(matrix.At(0, 0).requirement, 0.6, 1e-12);
+  EXPECT_NEAR(matrix.At(0, 1).requirement, 0.4, 1e-12);
+  EXPECT_NEAR(matrix.At(0, 2).requirement, 0.08, 1e-12);
+}
+
+TEST_F(WorkforceMatrixTest, KBestAscendingByRequirement) {
+  const auto matrix = WorkforceMatrix::Compute(
+      requests_, profiles_, WorkforcePolicy::kMinimalWorkforce);
+  auto best = matrix.KBestStrategies(0, 2);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, (std::vector<size_t>{2, 1}));
+  auto all = matrix.KBestStrategies(0, 3);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST_F(WorkforceMatrixTest, SumAndMaxAggregation) {
+  const auto matrix = WorkforceMatrix::Compute(
+      requests_, profiles_, WorkforcePolicy::kMinimalWorkforce);
+  // Sum-case (Figure 3b): deploy with all k -> sum of k smallest.
+  auto sum = matrix.AggregateRequirement(0, 2, AggregationMode::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(*sum, 0.08 + 0.4, 1e-12);
+  // Max-case (Figure 3c): deploy one of the k -> k-th smallest.
+  auto max = matrix.AggregateRequirement(0, 2, AggregationMode::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_NEAR(*max, 0.4, 1e-12);
+}
+
+TEST_F(WorkforceMatrixTest, InfeasibleWhenFewerThanK) {
+  const auto matrix = WorkforceMatrix::Compute(
+      requests_, profiles_, WorkforcePolicy::kMinimalWorkforce);
+  auto too_many = matrix.KBestStrategies(0, 4);
+  EXPECT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(WorkforceMatrixTest, BoundsChecking) {
+  const auto matrix = WorkforceMatrix::Compute(
+      requests_, profiles_, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_FALSE(matrix.KBestStrategies(5, 1).ok());
+  EXPECT_FALSE(matrix.KBestStrategies(0, 0).ok());
+}
+
+TEST(WorkforceMatrixEdge, EmptyInputs) {
+  const auto matrix = WorkforceMatrix::Compute(
+      {}, {}, WorkforcePolicy::kMinimalWorkforce);
+  EXPECT_EQ(matrix.num_requests(), 0u);
+  EXPECT_EQ(matrix.num_strategies(), 0u);
+}
+
+TEST(WorkforceMatrixEdge, TiesBrokenByIndex) {
+  StrategyProfile profile;
+  profile.quality = {0.5, 0.2};
+  profile.cost = {0.5, 0.0};
+  profile.latency = {-0.2, 0.3};
+  const std::vector<StrategyProfile> profiles = {profile, profile, profile};
+  const std::vector<DeploymentRequest> requests = {
+      {"d", {0.45, 1.0, 0.3}, 2}};
+  const auto matrix = WorkforceMatrix::Compute(
+      requests, profiles, WorkforcePolicy::kMinimalWorkforce);
+  auto best = matrix.KBestStrategies(0, 2);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, (std::vector<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace stratrec::core

@@ -1,0 +1,88 @@
+// Unit tests for the Section 5.2 synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include "src/stats/descriptive.h"
+#include "src/workload/generators.h"
+
+namespace stratrec::workload {
+namespace {
+
+TEST(GeneratorTest, UniformDimsStayInConfiguredRange) {
+  Generator generator({}, 1);
+  const auto params = generator.StrategyParams(2000);
+  for (const auto& p : params) {
+    for (double v : {p.quality, p.cost, p.latency}) {
+      EXPECT_GE(v, 0.5);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, NormalDimsMatchPaperMoments) {
+  GeneratorOptions options;
+  options.distribution = DimDistribution::kNormal;
+  Generator generator(options, 2);
+  std::vector<double> draws;
+  for (const auto& p : generator.StrategyParams(3000)) {
+    draws.push_back(p.quality);
+  }
+  EXPECT_NEAR(stats::Mean(draws).value(), 0.75, 0.01);
+  EXPECT_NEAR(stats::StdDev(draws).value(), 0.10, 0.01);
+}
+
+TEST(GeneratorTest, RequestsInPaperRange) {
+  Generator generator({}, 3);
+  const auto requests = generator.Requests(500, /*k=*/10);
+  EXPECT_EQ(requests.size(), 500u);
+  for (const auto& r : requests) {
+    EXPECT_EQ(r.k, 10);
+    EXPECT_FALSE(r.id.empty());
+    for (double v : {r.thresholds.quality, r.thresholds.cost,
+                     r.thresholds.latency}) {
+      EXPECT_GE(v, 0.625);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, ProfilesHaveExpectedSlopeSigns) {
+  Generator generator({}, 4);
+  for (const auto& profile : generator.Profiles(500)) {
+    EXPECT_GE(profile.quality.alpha, 0.5);
+    EXPECT_LE(profile.quality.alpha, 1.0);
+    EXPECT_GE(profile.cost.alpha, 0.5);
+    EXPECT_LE(profile.cost.alpha, 1.0);
+    EXPECT_LE(profile.latency.alpha, -0.5);
+    EXPECT_GE(profile.latency.alpha, -1.0);
+    // Parameter at full availability equals the sampled dimension: in range.
+    const auto at_full = profile.EstimateParams(1.0);
+    EXPECT_GE(at_full.quality, 0.5 - 1e-9);
+    EXPECT_LE(at_full.quality, 1.0 + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossInstances) {
+  Generator a({}, 42), b({}, 42);
+  const auto pa = a.StrategyParams(50);
+  const auto pb = b.StrategyParams(50);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].quality, pb[i].quality);
+    EXPECT_EQ(pa[i].cost, pb[i].cost);
+    EXPECT_EQ(pa[i].latency, pb[i].latency);
+  }
+  Generator c({}, 43);
+  const auto pc = c.StrategyParams(50);
+  int identical = 0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    identical += pa[i].quality == pc[i].quality ? 1 : 0;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(GeneratorTest, DistributionNames) {
+  EXPECT_STREQ(DimDistributionName(DimDistribution::kUniform), "uniform");
+  EXPECT_STREQ(DimDistributionName(DimDistribution::kNormal), "normal");
+}
+
+}  // namespace
+}  // namespace stratrec::workload
