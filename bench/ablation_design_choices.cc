@@ -7,8 +7,9 @@
 //       (Section 7 future work).
 #include <cstdio>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
-#include "src/core/batch_scheduler.h"
 #include "src/core/multi_objective.h"
 #include "src/workload/generators.h"
 
@@ -16,6 +17,7 @@ namespace {
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
 
@@ -46,15 +48,20 @@ void PolicyAndAggregationAblation() {
       double satisfied = 0.0, used = 0.0;
       for (int run = 0; run < kRuns; ++run) {
         auto generator = MakeGenerator(run);
-        const auto profiles = generator.Profiles(kNumStrategies);
-        const auto requests = MakeRequests(&generator);
-        core::BatchOptions options;
-        options.policy = policy;
-        options.aggregation = aggregation;
-        auto result = core::BatchStrat(requests, profiles, kW, options);
-        if (!result.ok()) continue;
-        satisfied += static_cast<double>(result->satisfied.size());
-        used += result->workforce_used;
+        auto service = stratrec::Service::Create(
+            api::CatalogFromProfiles(generator.Profiles(kNumStrategies)));
+        if (!service.ok()) continue;
+        api::BatchRequest batch;
+        batch.requests = MakeRequests(&generator);
+        batch.availability = api::AvailabilitySpec::Fixed(kW);
+        batch.policy = policy;
+        batch.aggregation = aggregation;
+        batch.recommend_alternatives = false;
+        auto report = service->SubmitBatch(batch);
+        if (!report.ok()) continue;
+        const core::BatchResult& result = report->result.aggregator.batch;
+        satisfied += static_cast<double>(result.satisfied.size());
+        used += result.workforce_used;
       }
       table.AddRow(
           {policy == core::WorkforcePolicy::kMinimalWorkforce ? "minimal"
@@ -77,23 +84,31 @@ void GuardAblation() {
   double guarded_worst = 1.0, unguarded_worst = 1.0;
   for (int run = 0; run < kRuns * 5; ++run) {
     auto generator = MakeGenerator(run);
-    const auto profiles = generator.Profiles(30);
-    const auto requests = MakeRequests(&generator);
-    core::BatchOptions options;
-    options.objective = core::Objective::kPayoff;
-    options.aggregation = core::AggregationMode::kMax;
-    auto guarded = core::BatchStrat(requests, profiles, 0.5, options);
-    auto unguarded = core::BaselineG(requests, profiles, 0.5, options);
-    auto exact = core::BruteForceBatch(requests, profiles, 0.5, options);
+    auto service = stratrec::Service::Create(
+        api::CatalogFromProfiles(generator.Profiles(30)));
+    if (!service.ok()) continue;
+    api::BatchRequest batch;
+    batch.requests = MakeRequests(&generator);
+    batch.availability = api::AvailabilitySpec::Fixed(0.5);
+    batch.objective = core::Objective::kPayoff;
+    batch.aggregation = core::AggregationMode::kMax;
+    batch.recommend_alternatives = false;
+    auto solve = [&](const char* algorithm) -> stratrec::Result<double> {
+      batch.algorithm = algorithm;
+      auto report = service->SubmitBatch(batch);
+      if (!report.ok()) return report.status();
+      return report->result.aggregator.batch.total_objective;
+    };
+    auto guarded = solve("batchstrat");
+    auto unguarded = solve("baseline-g");
+    auto exact = solve("brute-force");
     if (!guarded.ok() || !unguarded.ok() || !exact.ok()) continue;
-    guarded_total += guarded->total_objective;
-    unguarded_total += unguarded->total_objective;
-    exact_total += exact->total_objective;
-    if (exact->total_objective > 0) {
-      guarded_worst = std::min(
-          guarded_worst, guarded->total_objective / exact->total_objective);
-      unguarded_worst = std::min(
-          unguarded_worst, unguarded->total_objective / exact->total_objective);
+    guarded_total += *guarded;
+    unguarded_total += *unguarded;
+    exact_total += *exact;
+    if (*exact > 0) {
+      guarded_worst = std::min(guarded_worst, *guarded / *exact);
+      unguarded_worst = std::min(unguarded_worst, *unguarded / *exact);
     }
   }
   table.AddRow({"BatchStrat (guarded)", FormatDouble(guarded_total / (kRuns * 5), 3),

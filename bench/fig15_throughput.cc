@@ -9,14 +9,16 @@
 #include <cstdio>
 #include <functional>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
-#include "src/core/batch_scheduler.h"
 #include "src/workload/generators.h"
 
 namespace {
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
 
@@ -37,23 +39,31 @@ Row Evaluate(int num_s, int m, int k, core::Objective objective) {
   for (int run = 0; run < kRuns; ++run) {
     workload::GeneratorOptions options;
     workload::Generator generator(options, 0xF16'15ull * 100 + run);
-    const auto profiles = generator.Profiles(num_s);
-    const auto requests = generator.RequestsWithRanges(
+    auto service = stratrec::Service::Create(
+        api::CatalogFromProfiles(generator.Profiles(num_s)));
+    if (!service.ok()) continue;
+    api::BatchRequest batch;
+    batch.requests = generator.RequestsWithRanges(
         m, k, /*quality=*/{0.50, 0.75}, /*cost=*/{0.70, 1.0},
         /*latency=*/{0.70, 1.0});
-    core::BatchOptions batch;
+    batch.availability = api::AvailabilitySpec::Fixed(kDefaultW);
     batch.objective = objective;
     batch.aggregation = core::AggregationMode::kMax;
-    auto brute = core::BruteForceBatch(requests, profiles, kDefaultW, batch);
-    auto greedy = core::BatchStrat(requests, profiles, kDefaultW, batch);
-    auto baseline = core::BaselineG(requests, profiles, kDefaultW, batch);
+    batch.recommend_alternatives = false;  // only the batch stage is measured
+    auto solve = [&](const char* algorithm) {
+      batch.algorithm = algorithm;
+      return service->SubmitBatch(batch);
+    };
+    auto brute = solve("brute-force");
+    auto greedy = solve("batchstrat");
+    auto baseline = solve("baseline-g");
     if (!brute.ok() || !greedy.ok() || !baseline.ok()) {
       std::fprintf(stderr, "run failed\n");
       continue;
     }
-    row.brute += brute->total_objective;
-    row.batchstrat += greedy->total_objective;
-    row.baseline += baseline->total_objective;
+    row.brute += brute->result.aggregator.batch.total_objective;
+    row.batchstrat += greedy->result.aggregator.batch.total_objective;
+    row.baseline += baseline->result.aggregator.batch.total_objective;
   }
   row.brute /= kRuns;
   row.batchstrat /= kRuns;

@@ -5,14 +5,16 @@
 #include <cstdio>
 #include <functional>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
-#include "src/core/batch_scheduler.h"
 #include "src/workload/generators.h"
 
 namespace {
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
 
@@ -37,24 +39,34 @@ Row Evaluate(int num_s, int m, int k) {
   for (int run = 0; run < kRuns; ++run) {
     workload::GeneratorOptions options;
     workload::Generator generator(options, 0xF16'16ull * 100 + run);
-    const auto profiles = generator.Profiles(num_s);
-    const auto requests = generator.RequestsWithRanges(
+    auto service = stratrec::Service::Create(
+        api::CatalogFromProfiles(generator.Profiles(num_s)));
+    if (!service.ok()) continue;
+    api::BatchRequest batch;
+    batch.requests = generator.RequestsWithRanges(
         m, k, /*quality=*/{0.50, 0.75}, /*cost=*/{0.70, 1.0},
         /*latency=*/{0.70, 1.0});
-    core::BatchOptions batch;
+    batch.availability = api::AvailabilitySpec::Fixed(kDefaultW);
     batch.objective = core::Objective::kPayoff;
     batch.aggregation = core::AggregationMode::kMax;
-    auto brute = core::BruteForceBatch(requests, profiles, kDefaultW, batch);
-    auto greedy = core::BatchStrat(requests, profiles, kDefaultW, batch);
+    batch.recommend_alternatives = false;  // only the batch stage is measured
+    batch.algorithm = "brute-force";
+    auto brute = service->SubmitBatch(batch);
+    batch.algorithm = "batchstrat";
+    auto greedy = service->SubmitBatch(batch);
     if (!brute.ok() || !greedy.ok()) {
       std::fprintf(stderr, "run failed\n");
       continue;
     }
-    row.brute += brute->total_objective;
-    row.batchstrat += greedy->total_objective;
-    if (brute->total_objective > 0.0) {
-      row.worst_factor = std::min(
-          row.worst_factor, greedy->total_objective / brute->total_objective);
+    const double brute_objective =
+        brute->result.aggregator.batch.total_objective;
+    const double greedy_objective =
+        greedy->result.aggregator.batch.total_objective;
+    row.brute += brute_objective;
+    row.batchstrat += greedy_objective;
+    if (brute_objective > 0.0) {
+      row.worst_factor =
+          std::min(row.worst_factor, greedy_objective / brute_objective);
     }
   }
   row.brute /= kRuns;

@@ -8,16 +8,16 @@
 #include <cstdio>
 #include <functional>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
-#include "src/core/adpar.h"
-#include "src/core/adpar_baselines.h"
-#include "src/core/adpar_paper_sweep.h"
 #include "src/workload/generators.h"
 
 namespace {
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
 
@@ -46,26 +46,45 @@ Row Evaluate(int num_s, int k, bool with_brute) {
   for (int run = 0; run < kRuns; ++run) {
     workload::GeneratorOptions options;
     workload::Generator generator(options, 0xF16'17ull * 100 + run);
-    const auto strategies = generator.StrategyParams(num_s);
+    auto service = stratrec::Service::Create(
+        api::ConstantCatalog(generator.StrategyParams(num_s)));
+    if (!service.ok()) continue;
     stratrec::Rng request_rng(0xD00Dull + run);
-    const core::ParamVector d = HardRequest(&request_rng);
 
-    auto exact = core::AdparExact(strategies, d, k);
-    auto sweep = core::AdparPaperSweep(strategies, d, k);
-    auto b2 = core::AdparBaseline2(strategies, d, k);
-    auto b3 = core::AdparBaseline3(strategies, d, k);
-    if (!exact.ok() || !sweep.ok() || !b2.ok() || !b3.ok()) {
+    api::SweepRequest sweep;
+    sweep.targets = {{"hard", HardRequest(&request_rng), k}};
+    sweep.solvers = {"exact", "paper-sweep", "baseline2", "baseline3"};
+    if (with_brute) sweep.solvers.push_back("brute");
+    auto report = service->RunSweep(sweep);
+    if (!report.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
-                   exact.ok() ? "baseline" : exact.status().ToString().c_str());
+                   report.status().ToString().c_str());
       continue;
     }
-    row.exact += exact->distance;
-    row.paper_sweep += sweep->distance;
-    row.baseline2 += b2->distance;
-    row.baseline3 += b3->distance;
-    if (with_brute) {
-      auto brute = core::AdparBrute(strategies, d, k);
-      if (brute.ok()) row.brute += brute->distance;
+    // Validate the whole run before accumulating anything, so a partial
+    // failure cannot skew the averages. The brute backend alone may refuse
+    // oversized instances without invalidating the run.
+    bool run_ok = true;
+    for (const api::SweepOutcome& outcome : report->outcomes) {
+      if (!outcome.status.ok() && outcome.solver != "brute") run_ok = false;
+    }
+    if (!run_ok) {
+      std::fprintf(stderr, "run failed: solver error\n");
+      continue;
+    }
+    for (const api::SweepOutcome& outcome : report->outcomes) {
+      if (!outcome.status.ok()) continue;
+      if (outcome.solver == "exact") row.exact += outcome.result.distance;
+      if (outcome.solver == "paper-sweep") {
+        row.paper_sweep += outcome.result.distance;
+      }
+      if (outcome.solver == "baseline2") {
+        row.baseline2 += outcome.result.distance;
+      }
+      if (outcome.solver == "baseline3") {
+        row.baseline3 += outcome.result.distance;
+      }
+      if (outcome.solver == "brute") row.brute += outcome.result.distance;
     }
     ++counted;
   }

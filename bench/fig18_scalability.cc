@@ -3,30 +3,44 @@
 //       (near-linear; the paper reports < 1 s for millions of strategies),
 //   (b) ADPaR-Exact varying |S|,
 //   (c) ADPaR-Exact varying k.
-// Implemented with google-benchmark; times are wall-clock per solve.
+// Implemented with google-benchmark; times are wall-clock per solve. The
+// batch panels go through stratrec::Service so the measured path is the one
+// production callers take (facade + registry dispatch included).
 #include <benchmark/benchmark.h>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/core/adpar.h"
-#include "src/core/batch_scheduler.h"
 #include "src/workload/generators.h"
 
 namespace {
 
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
+
+api::BatchRequest MakeBatch(workload::Generator* generator, int m,
+                            const char* algorithm) {
+  api::BatchRequest batch;
+  batch.requests = generator->RequestsWithRanges(m, 10, {0.50, 0.75},
+                                                 {0.70, 1.0}, {0.70, 1.0});
+  batch.availability = api::AvailabilitySpec::Fixed(0.5);
+  batch.aggregation = core::AggregationMode::kMax;
+  batch.recommend_alternatives = false;
+  batch.algorithm = algorithm;
+  return batch;
+}
 
 // --- (a) Batch deployment varying m ---------------------------------------
 
 void BM_BatchStrat_VaryM(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   workload::Generator generator({}, 0xF16'18ull);
-  const auto profiles = generator.Profiles(30);
-  const auto requests = generator.RequestsWithRanges(
-      m, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
-  core::BatchOptions options;
-  options.aggregation = core::AggregationMode::kMax;
+  auto service = stratrec::Service::Create(
+      api::CatalogFromProfiles(generator.Profiles(30)));
+  const auto batch = MakeBatch(&generator, m, "batchstrat");
   for (auto _ : state) {
-    auto result = core::BatchStrat(requests, profiles, 0.5, options);
+    auto result = service->SubmitBatch(batch);
     benchmark::DoNotOptimize(result);
   }
 }
@@ -37,13 +51,11 @@ void BM_BatchStratMillionStrategies(benchmark::State& state) {
   // The paper's headline: "BatchStrat ... takes less than a second to handle
   // millions of strategies".
   workload::Generator generator({}, 0xF16'18ull + 1);
-  const auto profiles = generator.Profiles(1'000'000);
-  const auto requests = generator.RequestsWithRanges(
-      10, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
-  core::BatchOptions options;
-  options.aggregation = core::AggregationMode::kMax;
+  auto service = stratrec::Service::Create(
+      api::CatalogFromProfiles(generator.Profiles(1'000'000)));
+  const auto batch = MakeBatch(&generator, 10, "batchstrat");
   for (auto _ : state) {
-    auto result = core::BatchStrat(requests, profiles, 0.5, options);
+    auto result = service->SubmitBatch(batch);
     benchmark::DoNotOptimize(result);
   }
 }
@@ -52,18 +64,43 @@ BENCHMARK(BM_BatchStratMillionStrategies)->Unit(benchmark::kMillisecond);
 void BM_BruteForceBatch_VaryM(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   workload::Generator generator({}, 0xF16'18ull + 2);
-  const auto profiles = generator.Profiles(30);
-  const auto requests = generator.RequestsWithRanges(
-      m, 10, {0.50, 0.75}, {0.70, 1.0}, {0.70, 1.0});
-  core::BatchOptions options;
-  options.aggregation = core::AggregationMode::kMax;
+  auto service = stratrec::Service::Create(
+      api::CatalogFromProfiles(generator.Profiles(30)));
+  const auto batch = MakeBatch(&generator, m, "brute-force");
   for (auto _ : state) {
-    auto result = core::BruteForceBatch(requests, profiles, 0.5, options);
+    auto result = service->SubmitBatch(batch);
     benchmark::DoNotOptimize(result);
   }
 }
 BENCHMARK(BM_BruteForceBatch_VaryM)->DenseRange(5, 20, 5)
     ->Unit(benchmark::kMillisecond);
+
+// --- (a') Stream sessions: events/second through the facade ---------------
+
+void BM_StreamSession_Arrivals(benchmark::State& state) {
+  workload::Generator generator({}, 0xF16'18ull + 6);
+  api::ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.availability = api::AvailabilitySpec::Fixed(0.7);
+  auto service = stratrec::Service::Create(
+      api::CatalogFromProfiles(generator.Profiles(100)), config);
+  auto requests = generator.RequestsWithRanges(256, 2, {0.50, 0.75},
+                                               {0.70, 1.0}, {0.70, 1.0});
+  auto session = service->OpenStream();
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    auto& request = requests[counter % requests.size()];
+    request.id = "req-" + std::to_string(counter++);
+    auto decision = session->Arrive(request);
+    benchmark::DoNotOptimize(decision);
+    if (decision.ok() &&
+        decision->kind == core::AdmissionDecision::Kind::kAdmitted) {
+      (void)session->Complete(request.id);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(counter));
+}
+BENCHMARK(BM_StreamSession_Arrivals)->Unit(benchmark::kMicrosecond);
 
 // --- (b) ADPaR-Exact varying |S| -------------------------------------------
 

@@ -1,18 +1,20 @@
 // ADPaR walkthrough: reproduces the paper's Section 4 worked example
 // (Tables 2-4) for request d2 of Example 1 — the per-strategy relaxation
 // matrix, the sorted (R, I, D) lists, the candidate alternatives the sweep
-// evaluates, and the final recommendation, side by side with the three
-// baselines.
+// evaluates, and the final recommendation, side by side with the paper's
+// literal sweep and the baselines via stratrec::Service::RunSweep.
 //
 // Run: ./build/examples/example_adpar_walkthrough
 #include <cstdio>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
 #include "src/core/adpar.h"
-#include "src/core/adpar_baselines.h"
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 
 int main() {
@@ -29,6 +31,8 @@ int main() {
   std::printf("ADPaR walkthrough for d2 = %s, k = %d\n\n",
               d2.ToString().c_str(), k);
 
+  // --- The algorithm internals (paper Tables 3-4), from the core solver's
+  // execution trace; the facade's sweep mode below compares final outputs.
   core::AdparTrace trace;
   auto result = core::AdparExact(strategies, d2, k, &trace);
   if (!result.ok()) {
@@ -71,27 +75,39 @@ int main() {
   }
   candidates.Print();
 
-  // --- Final recommendation vs the baselines.
-  std::printf("\nFinal recommendations:\n");
-  AsciiTable finals({"algorithm", "d'", "distance", "strategies"});
-  auto add_row = [&](const char* name,
-                     const stratrec::Result<core::AdparResult>& r) {
-    if (!r.ok()) {
-      finals.AddRow({name, r.status().ToString(), "-", "-"});
-      return;
+  // --- Final recommendation vs the whole registered solver family, through
+  // the facade's sweep mode.
+  auto service = stratrec::Service::Create(api::ConstantCatalog(strategies));
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  api::SweepRequest sweep;
+  sweep.targets = {{"d2", d2, k}};
+  sweep.solvers = {"exact", "paper-sweep", "brute", "baseline2", "baseline3"};
+  auto sweep_report = service->RunSweep(sweep);
+  if (!sweep_report.ok()) {
+    std::fprintf(stderr, "RunSweep failed: %s\n",
+                 sweep_report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nFinal recommendations (sweep %s):\n",
+              sweep_report->request_id.c_str());
+  AsciiTable finals({"solver", "d'", "distance", "strategies"});
+  for (const auto& outcome : sweep_report->outcomes) {
+    if (!outcome.status.ok()) {
+      finals.AddRow({outcome.solver, outcome.status.ToString(), "-", "-"});
+      continue;
     }
     std::string names;
-    for (size_t j : r->strategies) {
+    for (size_t j : outcome.result.strategies) {
       if (!names.empty()) names += ",";
       names += "s" + std::to_string(j + 1);
     }
-    finals.AddRow({name, r->alternative.ToString(),
-                   FormatDouble(r->distance, 4), names});
-  };
-  add_row("ADPaR-Exact", result);
-  add_row("ADPaRB (brute)", core::AdparBrute(strategies, d2, k));
-  add_row("Baseline2", core::AdparBaseline2(strategies, d2, k));
-  add_row("Baseline3", core::AdparBaseline3(strategies, d2, k));
+    finals.AddRow({outcome.solver, outcome.result.alternative.ToString(),
+                   FormatDouble(outcome.result.distance, 4), names});
+  }
   finals.Print();
 
   std::printf(

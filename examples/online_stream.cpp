@@ -1,55 +1,57 @@
 // Online stream of deployment requests — the paper's closing open problem
 // (Section 7): requests arrive continuously, may be revoked, and worker
-// availability changes between deployment windows. The OnlineScheduler
-// prices each arrival with the Section 3.2 workforce machinery and behaves
-// like a rolling BatchStrat.
+// availability changes between deployment windows. A platform opens a
+// stream session on the stratrec::Service and feeds it uniform StreamEvent
+// envelopes; the session prices each arrival with the Section 3.2 workforce
+// machinery and behaves like a rolling BatchStrat.
 //
 // Run: ./build/examples/example_online_stream
 #include <cstdio>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
 #include "src/common/rng.h"
-#include "src/core/online.h"
 #include "src/workload/generators.h"
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace workload = stratrec::workload;
 
 namespace {
 
-const char* KindName(core::AdmissionDecision::Kind kind) {
-  switch (kind) {
-    case core::AdmissionDecision::Kind::kAdmitted:
-      return "admitted";
-    case core::AdmissionDecision::Kind::kQueued:
-      return "queued";
-    case core::AdmissionDecision::Kind::kRejected:
-      return "rejected";
-  }
-  return "?";
+std::string UsedOverW(const api::StreamUpdate& update) {
+  return FormatDouble(update.used_workforce, 2) + "/" +
+         FormatDouble(update.availability, 2);
 }
 
 }  // namespace
 
 int main() {
   workload::Generator generator({}, 2026);
-  const auto profiles = generator.Profiles(100);
 
-  core::OnlineOptions options;
-  options.batch.objective = core::Objective::kPayoff;
-  options.batch.aggregation = core::AggregationMode::kMax;
-  auto scheduler = core::OnlineScheduler::Create(profiles, 0.7, options);
-  if (!scheduler.ok()) {
-    std::fprintf(stderr, "scheduler: %s\n",
-                 scheduler.status().ToString().c_str());
+  api::ServiceConfig config;
+  config.batch.objective = core::Objective::kPayoff;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.availability = api::AvailabilitySpec::Fixed(0.7);
+  auto service = stratrec::Service::Create(
+      api::CatalogFromProfiles(generator.Profiles(100)), config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  auto session = service->OpenStream();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.status().ToString().c_str());
     return 1;
   }
 
   std::printf(
-      "Streaming 30 events through the online scheduler (W starts at "
-      "0.70)\n\n");
+      "Streaming 30 events through session %s (W starts at 0.70)\n\n",
+      session->id().c_str());
   AsciiTable log({"t", "event", "request", "decision", "used/W", "pending"});
   stratrec::Rng rng(7);
   std::vector<std::string> active_ids;
@@ -59,11 +61,11 @@ int main() {
     const double roll = rng.Uniform();
     if (t == 15) {
       // The weekend window begins: availability drops.
-      (void)scheduler->SetAvailability(0.55);
+      auto update = session->Submit(api::StreamEvent::AvailabilityChange(
+          api::AvailabilitySpec::Fixed(0.55)));
+      if (!update.ok()) continue;
       log.AddRow({std::to_string(t), "window change", "-", "W -> 0.55",
-                  FormatDouble(scheduler->used_workforce(), 2) + "/" +
-                      FormatDouble(scheduler->availability(), 2),
-                  std::to_string(scheduler->pending())});
+                  UsedOverW(*update), std::to_string(update->pending)});
       continue;
     }
     if (roll < 0.25 && !active_ids.empty()) {
@@ -73,33 +75,30 @@ int main() {
       const std::string id = active_ids[pick];
       active_ids.erase(active_ids.begin() + static_cast<long>(pick));
       const bool revoke = rng.Bernoulli(0.5);
-      const auto status = revoke ? scheduler->OnRevocation(id)
-                                 : scheduler->OnCompletion(id);
+      auto update = session->Submit(revoke ? api::StreamEvent::Revocation(id)
+                                           : api::StreamEvent::Completion(id));
       log.AddRow({std::to_string(t), revoke ? "revocation" : "completion", id,
-                  status.ok() ? "ok" : status.ToString(),
-                  FormatDouble(scheduler->used_workforce(), 2) + "/" +
-                      FormatDouble(scheduler->availability(), 2),
-                  std::to_string(scheduler->pending())});
+                  update.ok() ? "ok" : update.status().ToString(),
+                  update.ok() ? UsedOverW(*update) : "-",
+                  std::to_string(session->pending())});
       continue;
     }
     // A new deployment request arrives.
     auto requests = generator.RequestsWithRanges(1, 2, {0.5, 0.75},
                                                  {0.7, 1.0}, {0.7, 1.0});
     requests[0].id = "req-" + std::to_string(next_id++);
-    auto decision = scheduler->OnArrival(requests[0]);
-    if (!decision.ok()) continue;
-    if (decision->kind == core::AdmissionDecision::Kind::kAdmitted) {
+    auto update = session->Submit(api::StreamEvent::Arrival(requests[0]));
+    if (!update.ok()) continue;
+    if (update->decision.kind == core::AdmissionDecision::Kind::kAdmitted) {
       active_ids.push_back(requests[0].id);
     }
     log.AddRow({std::to_string(t), "arrival", requests[0].id,
-                KindName(decision->kind),
-                FormatDouble(scheduler->used_workforce(), 2) + "/" +
-                    FormatDouble(scheduler->availability(), 2),
-                std::to_string(scheduler->pending())});
+                api::AdmissionKindName(update->decision.kind),
+                UsedOverW(*update), std::to_string(update->pending)});
   }
   log.Print();
 
-  const auto& stats = scheduler->stats();
+  const auto stats = session->stats();
   std::printf(
       "\nStream summary: %zu arrivals, %zu admissions (incl. re-admits), "
       "%zu queued, %zu rejected,\n%zu revocations, %zu completions; accrued "
@@ -107,5 +106,11 @@ int main() {
       stats.arrivals, stats.admitted, stats.queued, stats.rejected,
       stats.revoked, stats.completed, stats.objective,
       100.0 * stats.peak_utilization);
+  const auto service_stats = service->stats();
+  std::printf(
+      "Service counters: %zu stream events across %zu session(s), "
+      "%zu requests processed\n",
+      service_stats.stream_events, service_stats.streams_opened,
+      service_stats.requests_processed);
   return 0;
 }

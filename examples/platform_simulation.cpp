@@ -1,17 +1,20 @@
 // Platform simulation: the full Figure 1 loop on the simulated AMT
 // platform — estimate worker availability from historical deployment
-// traces, fit strategy parameter models from observed deployments, then run
-// a batch of sentence-translation deployment requests through StratRec and
-// print recommendations plus ADPaR alternatives.
+// traces, fit strategy parameter models from observed deployments, stand up
+// a stratrec::Service over the fitted catalog, then run a batch of
+// sentence-translation deployment requests through it and print
+// recommendations plus ADPaR alternatives.
 //
 // Run: ./build/examples/example_platform_simulation
 #include <cstdio>
 
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
 #include "src/platform/amt.h"
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace platform = stratrec::platform;
 
@@ -44,46 +47,62 @@ int main() {
       availability->ExpectedAvailability());
 
   // --- Strategy catalog: all 8 single-stage strategies with models fitted
-  // from simulated historical deployments.
-  auto stratrec = amt.BuildStratRec(task_type);
-  if (!stratrec.ok()) {
+  // from simulated historical deployments, fronted by one Service.
+  auto catalog = amt.BuildCatalog(task_type);
+  if (!catalog.ok()) {
     std::fprintf(stderr, "model fitting failed: %s\n",
-                 stratrec.status().ToString().c_str());
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  api::ServiceConfig config;
+  config.batch.objective = core::Objective::kPayoff;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  auto service = stratrec::Service::Create(std::move(*catalog), config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service setup failed: %s\n",
+                 service.status().ToString().c_str());
     return 1;
   }
   std::printf("Fitted linear models for %zu strategies.\n\n",
-              stratrec->aggregator().strategies().size());
+              service->strategies().size());
+
+  // --- Register the estimated window model; batches refer to it by name.
+  if (auto st = service->RegisterAvailabilityModel("early-week",
+                                                   std::move(*availability));
+      !st.ok()) {
+    std::fprintf(stderr, "model registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
 
   // --- A batch of deployment requests from different requesters.
-  std::vector<core::DeploymentRequest> requests = {
+  api::BatchRequest batch;
+  batch.requests = {
       {"newsroom",  {0.75, 0.60, 0.70}, 2},  // high quality, moderate budget
       {"hobbyist",  {0.60, 0.30, 0.90}, 1},  // cheap and relaxed
       {"archive",   {0.70, 0.80, 0.50}, 3},  // fast turnaround
       {"perfection",{0.97, 0.15, 0.20}, 2},  // unrealistic -> ADPaR
   };
+  batch.availability = api::AvailabilitySpec::Named("early-week");
 
-  core::StratRecOptions process_options;
-  process_options.batch.objective = core::Objective::kPayoff;
-  process_options.batch.aggregation = core::AggregationMode::kMax;
-  auto report =
-      stratrec->ProcessBatch(requests, *availability, process_options);
+  auto report = service->SubmitBatch(batch);
   if (!report.ok()) {
-    std::fprintf(stderr, "ProcessBatch failed: %s\n",
+    std::fprintf(stderr, "SubmitBatch failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("Batch outcomes at W = %.3f (pay-off objective):\n",
-              report->aggregator.availability);
+  std::printf("Batch %s outcomes at W = %.3f (pay-off objective):\n",
+              report->request_id.c_str(), report->availability);
   AsciiTable outcomes({"request", "served", "strategies", "workforce"});
-  const auto& strategies = stratrec->aggregator().strategies();
-  for (const auto& outcome : report->aggregator.batch.outcomes) {
+  const auto& strategies = service->strategies();
+  for (const auto& outcome : report->result.aggregator.batch.outcomes) {
     std::string names;
     for (size_t j : outcome.strategies) {
       if (!names.empty()) names += ",";
       names += strategies[j].Describe();
     }
-    outcomes.AddRow({requests[outcome.request_index].id,
+    outcomes.AddRow({batch.requests[outcome.request_index].id,
                      outcome.satisfied ? "yes" : "no",
                      names.empty() ? "-" : names,
                      FormatDouble(outcome.workforce, 3)});
@@ -92,12 +111,12 @@ int main() {
 
   std::printf("\nADPaR alternatives:\n");
   AsciiTable alternatives({"request", "alternative d'", "distance"});
-  for (const auto& alt : report->alternatives) {
-    alternatives.AddRow({requests[alt.request_index].id,
+  for (const auto& alt : report->result.alternatives) {
+    alternatives.AddRow({batch.requests[alt.request_index].id,
                          alt.result.alternative.ToString(),
                          FormatDouble(alt.result.distance, 4)});
   }
-  if (report->alternatives.empty()) {
+  if (report->result.alternatives.empty()) {
     alternatives.AddRow({"-", "-", "-"});
   }
   alternatives.Print();
@@ -107,11 +126,11 @@ int main() {
       "succeed)\n");
 
   // --- Deploy the first served request for real and report the outcome.
-  for (const auto& outcome : report->aggregator.batch.outcomes) {
+  for (const auto& outcome : report->result.aggregator.batch.outcomes) {
     if (!outcome.satisfied || outcome.strategies.empty()) continue;
     const auto& strategy = strategies[outcome.strategies.front()];
     std::printf("\nDeploying '%s' with %s ...\n",
-                requests[outcome.request_index].id.c_str(),
+                batch.requests[outcome.request_index].id.c_str(),
                 strategy.Describe().c_str());
     platform::ExecutionSimulator executor(&amt.pool(),
                                           platform::ExecutionOptions{}, 7);
@@ -119,7 +138,7 @@ int main() {
                                        platform::SampleTasks(task_type));
     const auto deployed = executor.ExecuteAtAvailability(
         hit, strategy.stages().front(),
-        report->aggregator.availability, /*guided=*/true);
+        report->availability, /*guided=*/true);
     std::printf(
         "observed quality %.2f, cost %.2f, latency %.2f (%d edits, %d "
         "conflicts)\n",

@@ -2,20 +2,22 @@
 // strategy space explodes combinatorially — with x workflow stages there are
 // 8^x possible strategies (1,073,741,824 for x = 10). This example
 // enumerates all two-stage Turkomatic-style workflows, scores them with a
-// simple compositional parameter model, and runs ADPaR-Exact against the
-// resulting 64-strategy catalog to show recommendation over enumerated
-// workflow spaces.
+// simple compositional parameter model, stands up a stratrec::Service over
+// the resulting 64-strategy catalog and asks its sweep mode for the closest
+// satisfiable alternative to an aggressive request.
 //
 // Run: ./build/examples/example_workflow_enumeration
 #include <cstdio>
 
+#include "src/api/catalog.h"
+#include "src/api/service.h"
 #include "src/common/ascii_table.h"
-#include "src/core/adpar.h"
 #include "src/core/strategy.h"
 #include "src/platform/ground_truth.h"
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
+namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace platform = stratrec::platform;
 
@@ -79,23 +81,40 @@ int main() {
     params.push_back(WorkflowParams(workflow, availability));
   }
 
-  // --- Ask for an aggressive deployment; ADPaR relaxes it minimally.
-  const core::ParamVector request{0.9, 0.45, 0.5};
-  const int k = 4;
-  auto result = core::AdparExact(params, request, k);
-  if (!result.ok()) {
-    std::fprintf(stderr, "ADPaR failed: %s\n",
-                 result.status().ToString().c_str());
+  // --- One service over the enumerated catalog (the workflow parameters
+  // are already evaluated at W, so the catalog is availability-constant).
+  core::Catalog catalog = api::ConstantCatalog(params, "w");
+  catalog.strategies = *workflows;
+  auto service = stratrec::Service::Create(std::move(catalog));
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Ask for an aggressive deployment; the sweep relaxes it minimally.
+  api::SweepRequest sweep;
+  sweep.targets = {{"aggressive", {0.9, 0.45, 0.5}, 4}};
+  auto report = service->RunSweep(sweep);
+  if (!report.ok()) {
+    std::fprintf(stderr, "RunSweep failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const api::SweepOutcome& outcome = report->outcomes.front();
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "no alternative: %s\n",
+                 outcome.status.ToString().c_str());
     return 1;
   }
 
   std::printf(
-      "\nRequest %s has no exact match among the 64 workflows;\n"
-      "closest alternative %s (distance %.4f) admits:\n",
-      request.ToString().c_str(), result->alternative.ToString().c_str(),
-      result->distance);
+      "\nRequest %s has no exact match among the %zu workflows;\n"
+      "closest alternative %s (distance %.4f, solver %s) admits:\n",
+      sweep.targets[0].thresholds.ToString().c_str(), workflows->size(),
+      outcome.result.alternative.ToString().c_str(), outcome.result.distance,
+      outcome.solver.c_str());
   AsciiTable chosen({"workflow", "quality", "cost", "latency"});
-  for (size_t j : result->strategies) {
+  for (size_t j : outcome.result.strategies) {
     chosen.AddRow({(*workflows)[j].Describe(),
                    FormatDouble(params[j].quality, 3),
                    FormatDouble(params[j].cost, 3),

@@ -1,0 +1,53 @@
+// Declarative worker-availability input for the Service API.
+//
+// Callers describe *where the expected availability W comes from* rather
+// than passing a bare double: a fixed value, a PMF or sample set (paper
+// Section 2.1), or the name of a model previously registered on the service
+// (e.g. one the platform estimated per deployment window). The service
+// resolves the spec to W at submission time, so a request envelope stays a
+// plain value type.
+#ifndef STRATREC_API_AVAILABILITY_H_
+#define STRATREC_API_AVAILABILITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/availability.h"
+
+namespace stratrec::api {
+
+/// Where the expected availability W of one request comes from.
+struct AvailabilitySpec {
+  enum class Kind {
+    kDefault,  ///< the service's configured default
+    kFixed,    ///< an explicit W in [0, 1]
+    kPmf,      ///< expectation of explicit (fraction, probability) atoms
+    kSamples,  ///< expectation of observed availability fractions
+    kNamed,    ///< a model registered via Service::RegisterAvailabilityModel
+  };
+  Kind kind = Kind::kDefault;
+  double value = 0.0;
+  std::vector<stats::PmfAtom> atoms;
+  std::vector<double> samples;
+  std::string name;
+
+  static AvailabilitySpec Default() { return {}; }
+  static AvailabilitySpec Fixed(double w);
+  static AvailabilitySpec FromPmf(std::vector<stats::PmfAtom> atoms);
+  static AvailabilitySpec FromSamples(std::vector<double> samples);
+  static AvailabilitySpec Named(std::string name);
+};
+
+/// Resolves `spec` to an expected availability W. `models` holds the
+/// service's named registrations; `default_availability` answers kDefault.
+/// Fails with kInvalidArgument on malformed specs and kNotFound for an
+/// unregistered name.
+Result<double> ResolveAvailability(
+    const AvailabilitySpec& spec,
+    const std::unordered_map<std::string, core::AvailabilityModel>& models,
+    double default_availability);
+
+}  // namespace stratrec::api
+
+#endif  // STRATREC_API_AVAILABILITY_H_

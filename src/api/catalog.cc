@@ -1,0 +1,32 @@
+#include "src/api/catalog.h"
+
+namespace stratrec::api {
+
+core::Catalog CatalogFromProfiles(std::vector<core::StrategyProfile> profiles,
+                                  const std::string& prefix) {
+  core::Catalog catalog;
+  const std::vector<core::StageSpec> specs = core::AllStageSpecs();
+  catalog.strategies.reserve(profiles.size());
+  for (size_t j = 0; j < profiles.size(); ++j) {
+    catalog.strategies.emplace_back(prefix + std::to_string(j),
+                                    specs[j % specs.size()]);
+  }
+  catalog.profiles = std::move(profiles);
+  return catalog;
+}
+
+core::Catalog ConstantCatalog(const std::vector<core::ParamVector>& params,
+                              const std::string& prefix) {
+  std::vector<core::StrategyProfile> profiles;
+  profiles.reserve(params.size());
+  for (const core::ParamVector& p : params) {
+    core::StrategyProfile profile;
+    profile.quality = {0.0, p.quality};
+    profile.cost = {0.0, p.cost};
+    profile.latency = {0.0, p.latency};
+    profiles.push_back(profile);
+  }
+  return CatalogFromProfiles(std::move(profiles), prefix);
+}
+
+}  // namespace stratrec::api

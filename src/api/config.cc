@@ -1,0 +1,19 @@
+#include "src/api/config.h"
+
+#include "src/api/registry.h"
+
+namespace stratrec::api {
+
+Status ValidateConfig(const ServiceConfig& config) {
+  auto batch = AlgorithmRegistry::Global().FindBatch(config.batch.algorithm);
+  if (!batch.ok()) return batch.status();
+  auto adpar = AlgorithmRegistry::Global().FindAdpar(config.batch.adpar_solver);
+  if (!adpar.ok()) return adpar.status();
+  if (config.availability.kind != AvailabilitySpec::Kind::kNamed) {
+    auto resolved = ResolveAvailability(config.availability, {}, 0.5);
+    if (!resolved.ok()) return resolved.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace stratrec::api

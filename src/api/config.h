@@ -1,0 +1,56 @@
+// Layered configuration of a stratrec::Service.
+//
+// One ServiceConfig replaces the scattered StratRecOptions / OnlineOptions /
+// BatchOptions structs of the core layer: the `batch` block defaults every
+// SubmitBatch/RunSweep call, the `stream` block every OpenStream session,
+// and `availability` answers requests that do not name their own source.
+// Individual request envelopes may override any of these per call
+// (see envelope.h) — config < request, the outer layer always wins.
+#ifndef STRATREC_API_CONFIG_H_
+#define STRATREC_API_CONFIG_H_
+
+#include <string>
+
+#include "src/api/availability.h"
+#include "src/core/batch_scheduler.h"
+
+namespace stratrec::api {
+
+/// Defaults for the batch path (SubmitBatch and the per-cell solves of
+/// RunSweep). `algorithm` and `adpar_solver` are registry names so backends
+/// swap without recompiling callers.
+struct BatchDefaults {
+  std::string algorithm = "batchstrat";
+  core::Objective objective = core::Objective::kThroughput;
+  core::AggregationMode aggregation = core::AggregationMode::kSum;
+  core::WorkforcePolicy policy = core::WorkforcePolicy::kMinimalWorkforce;
+  /// Forward unsatisfied requests to the adpar solver (Figure 1's ADPaR leg).
+  bool recommend_alternatives = true;
+  std::string adpar_solver = "exact";
+};
+
+/// Defaults for stream sessions (OpenStream).
+struct StreamDefaults {
+  /// Requests that cannot be admitted immediately wait here; 0 disables
+  /// queueing (immediate reject).
+  size_t max_pending = 64;
+  /// Drain the pending queue greedily whenever capacity frees up.
+  bool readmit_on_release = true;
+};
+
+/// The one config a platform hands to Service::Create.
+struct ServiceConfig {
+  BatchDefaults batch;
+  StreamDefaults stream;
+  /// Used whenever a request's availability spec is kDefault.
+  AvailabilitySpec availability = AvailabilitySpec::Fixed(0.5);
+};
+
+/// Checks the config against the global registry (algorithm names resolve)
+/// and validates the default availability spec. Named specs are allowed here
+/// — they resolve per call against the service's registered models.
+Status ValidateConfig(const ServiceConfig& config);
+
+}  // namespace stratrec::api
+
+#endif  // STRATREC_API_CONFIG_H_

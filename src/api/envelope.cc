@@ -1,0 +1,59 @@
+#include "src/api/envelope.h"
+
+namespace stratrec::api {
+
+StreamEvent StreamEvent::Arrival(core::DeploymentRequest request) {
+  StreamEvent event;
+  event.kind = Kind::kArrival;
+  event.request = std::move(request);
+  return event;
+}
+
+StreamEvent StreamEvent::Revocation(std::string request_id) {
+  StreamEvent event;
+  event.kind = Kind::kRevocation;
+  event.request_id = std::move(request_id);
+  return event;
+}
+
+StreamEvent StreamEvent::Completion(std::string request_id) {
+  StreamEvent event;
+  event.kind = Kind::kCompletion;
+  event.request_id = std::move(request_id);
+  return event;
+}
+
+StreamEvent StreamEvent::AvailabilityChange(AvailabilitySpec availability) {
+  StreamEvent event;
+  event.kind = Kind::kAvailabilityChange;
+  event.availability = std::move(availability);
+  return event;
+}
+
+const char* StreamEventKindName(StreamEvent::Kind kind) {
+  switch (kind) {
+    case StreamEvent::Kind::kArrival:
+      return "arrival";
+    case StreamEvent::Kind::kRevocation:
+      return "revocation";
+    case StreamEvent::Kind::kCompletion:
+      return "completion";
+    case StreamEvent::Kind::kAvailabilityChange:
+      return "availability-change";
+  }
+  return "?";
+}
+
+const char* AdmissionKindName(core::AdmissionDecision::Kind kind) {
+  switch (kind) {
+    case core::AdmissionDecision::Kind::kAdmitted:
+      return "admitted";
+    case core::AdmissionDecision::Kind::kQueued:
+      return "queued";
+    case core::AdmissionDecision::Kind::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace stratrec::api

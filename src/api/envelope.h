@@ -1,0 +1,155 @@
+// Uniform request / report envelopes of the Service API.
+//
+// Every entry point takes one value-type request and returns one value-type
+// report stamped with a service-assigned, stable request id ("batch-000007",
+// "sweep-000012", "stream-000003"); ids share one counter per service, so a
+// report is attributable across modes. Failures travel through the Status /
+// Result taxonomy of src/common/status.h — kInvalidArgument for malformed
+// envelopes, kNotFound for unknown registry or model names, kInfeasible for
+// well-formed problems without a solution.
+#ifndef STRATREC_API_ENVELOPE_H_
+#define STRATREC_API_ENVELOPE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/availability.h"
+#include "src/core/online.h"
+#include "src/core/stratrec.h"
+
+namespace stratrec::api {
+
+// ---------------------------------------------------------------------------
+// Batch mode (wraps core::StratRec).
+// ---------------------------------------------------------------------------
+
+/// One batch of deployment requests. Optional fields override the service's
+/// BatchDefaults for this call only.
+struct BatchRequest {
+  std::vector<core::DeploymentRequest> requests;
+  AvailabilitySpec availability;  ///< kDefault -> service config
+  std::optional<std::string> algorithm;
+  std::optional<core::Objective> objective;
+  std::optional<core::AggregationMode> aggregation;
+  std::optional<core::WorkforcePolicy> policy;
+  std::optional<bool> recommend_alternatives;
+  std::optional<std::string> adpar_solver;
+};
+
+/// Outcome of one SubmitBatch call.
+struct BatchReport {
+  std::string request_id;  ///< service-assigned, stable
+  std::string algorithm;   ///< resolved backend name
+  double availability = 0.0;  ///< resolved expected W
+  /// Figure-1 pipeline output: aggregator stage, batch outcome, alternatives.
+  core::StratRecReport result;
+};
+
+// ---------------------------------------------------------------------------
+// Sweep mode (wraps the ADPaR solver family, including the paper's literal
+// sweep from src/core/adpar_paper_sweep.h).
+// ---------------------------------------------------------------------------
+
+/// Solve every target with every named adpar backend at one availability —
+/// the alternative-recommendation counterpart of SubmitBatch, and the
+/// machinery behind the Figure 17 quality comparison.
+struct SweepRequest {
+  /// Each target supplies thresholds + k; ids label the report rows
+  /// (empty ids are replaced by "target-<index>").
+  std::vector<core::DeploymentRequest> targets;
+  /// Registry names; empty -> the service's default adpar solver.
+  std::vector<std::string> solvers;
+  AvailabilitySpec availability;  ///< kDefault -> service config
+};
+
+/// One (target, solver) cell of a sweep.
+struct SweepOutcome {
+  std::string target_id;
+  std::string solver;
+  /// kInfeasible when k exceeds the catalog; the envelope records it per
+  /// cell rather than failing the whole sweep.
+  Status status;
+  core::AdparResult result;  ///< valid iff status.ok()
+};
+
+/// Outcome of one RunSweep call: |targets| x |solvers| cells.
+struct SweepReport {
+  std::string request_id;
+  double availability = 0.0;
+  /// Catalog parameters estimated at `availability` — the space the solvers
+  /// searched, index-aligned with the service catalog.
+  std::vector<core::ParamVector> strategy_params;
+  std::vector<SweepOutcome> outcomes;
+};
+
+// ---------------------------------------------------------------------------
+// Stream mode (wraps core::OnlineScheduler behind a session handle).
+// ---------------------------------------------------------------------------
+
+/// Per-session overrides of the service's StreamDefaults plus the session's
+/// starting availability.
+struct StreamOptions {
+  AvailabilitySpec availability;  ///< kDefault -> service config
+  std::optional<size_t> max_pending;
+  std::optional<bool> readmit_on_release;
+  std::optional<core::Objective> objective;
+  std::optional<core::AggregationMode> aggregation;
+  std::optional<core::WorkforcePolicy> policy;
+};
+
+/// One event of a stream session — the Section 7 open problem's vocabulary:
+/// arrivals, revocations, completions, and availability (window) changes.
+struct StreamEvent {
+  enum class Kind {
+    kArrival,
+    kRevocation,
+    kCompletion,
+    kAvailabilityChange,
+  };
+  Kind kind = Kind::kArrival;
+  core::DeploymentRequest request;  ///< kArrival
+  std::string request_id;           ///< kRevocation / kCompletion
+  AvailabilitySpec availability;    ///< kAvailabilityChange
+
+  static StreamEvent Arrival(core::DeploymentRequest request);
+  static StreamEvent Revocation(std::string request_id);
+  static StreamEvent Completion(std::string request_id);
+  static StreamEvent AvailabilityChange(AvailabilitySpec availability);
+};
+
+/// "arrival", "revocation", "completion", "availability-change".
+const char* StreamEventKindName(StreamEvent::Kind kind);
+
+/// "admitted", "queued", "rejected" — display helper for admission outcomes.
+const char* AdmissionKindName(core::AdmissionDecision::Kind kind);
+
+/// What one stream event did, plus a post-event capacity snapshot.
+struct StreamUpdate {
+  std::string session_id;
+  StreamEvent::Kind kind = StreamEvent::Kind::kArrival;
+  std::string request_id;            ///< the affected request ("" for window changes)
+  core::AdmissionDecision decision;  ///< meaningful for kArrival only
+  double availability = 0.0;
+  double used_workforce = 0.0;
+  size_t active = 0;
+  size_t pending = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Service-level accounting.
+// ---------------------------------------------------------------------------
+
+/// Lifetime counters of one Service (snapshot; see Service::stats()).
+struct ServiceStats {
+  size_t batches = 0;
+  size_t sweeps = 0;
+  size_t streams_opened = 0;
+  size_t stream_events = 0;
+  /// Deployment requests seen across batches and stream arrivals.
+  size_t requests_processed = 0;
+};
+
+}  // namespace stratrec::api
+
+#endif  // STRATREC_API_ENVELOPE_H_

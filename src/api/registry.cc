@@ -1,0 +1,110 @@
+#include "src/api/registry.h"
+
+#include "src/core/adpar_baselines.h"
+#include "src/core/adpar_paper_sweep.h"
+
+namespace stratrec::api {
+
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+}  // namespace
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = new AlgorithmRegistry();
+  return *registry;
+}
+
+AlgorithmRegistry::AlgorithmRegistry() {
+  for (auto algorithm :
+       {core::BatchAlgorithm::kBatchStrat, core::BatchAlgorithm::kBaselineG,
+        core::BatchAlgorithm::kBruteForce}) {
+    batch_.emplace(core::BatchAlgorithmName(algorithm),
+                   core::SolverForAlgorithm(algorithm));
+  }
+  adpar_.emplace("exact", [](const std::vector<core::ParamVector>& strategies,
+                             const core::ParamVector& request, int k) {
+    return core::AdparExact(strategies, request, k, nullptr);
+  });
+  adpar_.emplace("paper-sweep", core::AdparPaperSweep);
+  adpar_.emplace("baseline2", core::AdparBaseline2);
+  adpar_.emplace("baseline3", core::AdparBaseline3);
+  adpar_.emplace("brute", [](const std::vector<core::ParamVector>& strategies,
+                             const core::ParamVector& request, int k) {
+    return core::AdparBrute(strategies, request, k);
+  });
+}
+
+Status AlgorithmRegistry::RegisterBatch(const std::string& name,
+                                        core::BatchSolverFn solver) {
+  if (name.empty()) return Status::InvalidArgument("backend name is empty");
+  if (!solver) return Status::InvalidArgument("batch solver is null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!batch_.emplace(name, std::move(solver)).second) {
+    return Status::FailedPrecondition("batch backend '" + name +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status AlgorithmRegistry::RegisterAdpar(const std::string& name,
+                                        core::AdparSolverFn solver) {
+  if (name.empty()) return Status::InvalidArgument("backend name is empty");
+  if (!solver) return Status::InvalidArgument("adpar solver is null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!adpar_.emplace(name, std::move(solver)).second) {
+    return Status::FailedPrecondition("adpar backend '" + name +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<core::BatchSolverFn> AlgorithmRegistry::FindBatch(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = batch_.find(name);
+  if (it == batch_.end()) {
+    std::vector<std::string> names;
+    for (const auto& [known, fn] : batch_) names.push_back(known);
+    return Status::NotFound("no batch backend named '" + name +
+                            "' (known: " + JoinNames(names) + ")");
+  }
+  return it->second;
+}
+
+Result<core::AdparSolverFn> AlgorithmRegistry::FindAdpar(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = adpar_.find(name);
+  if (it == adpar_.end()) {
+    std::vector<std::string> names;
+    for (const auto& [known, fn] : adpar_) names.push_back(known);
+    return Status::NotFound("no adpar backend named '" + name +
+                            "' (known: " + JoinNames(names) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> AlgorithmRegistry::BatchNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : batch_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> AlgorithmRegistry::AdparNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : adpar_) names.push_back(name);
+  return names;
+}
+
+}  // namespace stratrec::api

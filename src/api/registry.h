@@ -1,0 +1,53 @@
+// Named algorithm registry of the Service API.
+//
+// Backends are addressed by stable lower-case names so a caller (or a config
+// file) can select "batchstrat" vs "brute-force", or ADPaR's "exact" vs the
+// paper's literal "paper-sweep", without compiling against the solver. New
+// backends register a callable and immediately become selectable from every
+// Service — callers never change.
+#ifndef STRATREC_API_REGISTRY_H_
+#define STRATREC_API_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/adpar.h"
+#include "src/core/batch_scheduler.h"
+
+namespace stratrec::api {
+
+/// Process-wide registry of batch-deployment and alternative-recommendation
+/// backends. Thread-safe; the built-ins are seeded on first access:
+///   batch: "batchstrat", "baseline-g", "brute-force"
+///   adpar: "exact", "paper-sweep", "baseline2", "baseline3", "brute"
+class AlgorithmRegistry {
+ public:
+  static AlgorithmRegistry& Global();
+
+  /// Registers a batch backend. Fails with kFailedPrecondition when `name`
+  /// is taken and kInvalidArgument on an empty name or null solver.
+  Status RegisterBatch(const std::string& name, core::BatchSolverFn solver);
+  /// Registers an alternative-recommendation backend (same error taxonomy).
+  Status RegisterAdpar(const std::string& name, core::AdparSolverFn solver);
+
+  /// Looks up a backend; fails with kNotFound listing the known names.
+  Result<core::BatchSolverFn> FindBatch(const std::string& name) const;
+  Result<core::AdparSolverFn> FindAdpar(const std::string& name) const;
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> BatchNames() const;
+  std::vector<std::string> AdparNames() const;
+
+ private:
+  AlgorithmRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, core::BatchSolverFn> batch_;
+  std::map<std::string, core::AdparSolverFn> adpar_;
+};
+
+}  // namespace stratrec::api
+
+#endif  // STRATREC_API_REGISTRY_H_

@@ -1,0 +1,341 @@
+#include "src/api/service.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/api/registry.h"
+
+namespace stratrec::api {
+
+namespace internal {
+
+/// Shared state behind every Service handle and its sessions.
+struct ServiceState {
+  ServiceConfig config;
+  /// The wrapped batch pipeline; its aggregator owns the catalog (the
+  /// service keeps no second copy). ProcessBatch is const and therefore
+  /// safe under concurrent SubmitBatch calls without locking.
+  core::StratRec stratrec;
+
+  std::atomic<uint64_t> next_id{1};
+  mutable std::mutex mutex;  ///< guards `models` and `stats`
+  std::unordered_map<std::string, core::AvailabilityModel> models;
+  ServiceStats stats;
+
+  ServiceState(ServiceConfig config_in, core::StratRec stratrec_in)
+      : config(std::move(config_in)), stratrec(std::move(stratrec_in)) {}
+
+  const std::vector<core::StrategyProfile>& profiles() const {
+    return stratrec.aggregator().profiles();
+  }
+
+  std::string NextId(const char* prefix) {
+    const uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%s-%06llu", prefix,
+                  static_cast<unsigned long long>(id));
+    return buffer;
+  }
+
+  Result<double> Resolve(const AvailabilitySpec& spec) const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return ResolveWhileLocked(spec);
+  }
+
+  Result<double> ResolveWhileLocked(const AvailabilitySpec& spec) const {
+    double fallback = 0.5;
+    if (config.availability.kind != AvailabilitySpec::Kind::kDefault &&
+        spec.kind == AvailabilitySpec::Kind::kDefault) {
+      auto configured = ResolveAvailability(config.availability, models, 0.5);
+      if (!configured.ok()) return configured.status();
+      fallback = *configured;
+    }
+    return ResolveAvailability(spec, models, fallback);
+  }
+};
+
+/// One stream session: the (not thread-safe) core scheduler plus its own
+/// lock and a reference keeping the owning service alive.
+struct SessionState {
+  std::shared_ptr<ServiceState> service;
+  std::string id;
+  mutable std::mutex mutex;  ///< serializes the wrapped scheduler
+  core::OnlineScheduler scheduler;
+
+  SessionState(std::shared_ptr<ServiceState> service_in, std::string id_in,
+               core::OnlineScheduler scheduler_in)
+      : service(std::move(service_in)),
+        id(std::move(id_in)),
+        scheduler(std::move(scheduler_in)) {}
+};
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+Result<Service> Service::Create(core::Catalog catalog, ServiceConfig config) {
+  STRATREC_RETURN_NOT_OK(ValidateConfig(config));
+  auto stratrec = core::StratRec::Create(std::move(catalog));
+  if (!stratrec.ok()) return stratrec.status();
+  return Service(std::make_shared<internal::ServiceState>(
+      std::move(config), std::move(*stratrec)));
+}
+
+Result<Service> Service::Create(std::vector<core::Strategy> strategies,
+                                std::vector<core::StrategyProfile> profiles,
+                                ServiceConfig config) {
+  return Create(
+      core::Catalog{std::move(strategies), std::move(profiles)},
+      std::move(config));
+}
+
+Result<BatchReport> Service::SubmitBatch(const BatchRequest& request) const {
+  const BatchDefaults& defaults = state_->config.batch;
+  const std::string algorithm = request.algorithm.value_or(defaults.algorithm);
+  auto solver = AlgorithmRegistry::Global().FindBatch(algorithm);
+  if (!solver.ok()) return solver.status();
+  auto availability = state_->Resolve(request.availability);
+  if (!availability.ok()) return availability.status();
+
+  core::StratRecOptions options;
+  options.batch.objective = request.objective.value_or(defaults.objective);
+  options.batch.aggregation =
+      request.aggregation.value_or(defaults.aggregation);
+  options.batch.policy = request.policy.value_or(defaults.policy);
+  options.recommend_alternatives =
+      request.recommend_alternatives.value_or(defaults.recommend_alternatives);
+  options.batch_solver = std::move(*solver);
+  if (options.recommend_alternatives) {
+    // Only resolved when it will run, so an unknown adpar name cannot fail
+    // a batch that never invokes it.
+    auto adpar = AlgorithmRegistry::Global().FindAdpar(
+        request.adpar_solver.value_or(defaults.adpar_solver));
+    if (!adpar.ok()) return adpar.status();
+    options.adpar_solver = std::move(*adpar);
+  }
+
+  auto result = state_->stratrec.ProcessBatchAtAvailability(
+      request.requests, *availability, options);
+  if (!result.ok()) return result.status();
+
+  BatchReport report;
+  report.request_id = state_->NextId("batch");
+  report.algorithm = algorithm;
+  report.availability = *availability;
+  report.result = std::move(*result);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stats.batches += 1;
+    state_->stats.requests_processed += request.requests.size();
+  }
+  return report;
+}
+
+Result<SweepReport> Service::RunSweep(const SweepRequest& request) const {
+  auto availability = state_->Resolve(request.availability);
+  if (!availability.ok()) return availability.status();
+
+  std::vector<std::string> solvers = request.solvers;
+  if (solvers.empty()) solvers.push_back(state_->config.batch.adpar_solver);
+  std::vector<core::AdparSolverFn> solver_fns;
+  solver_fns.reserve(solvers.size());
+  for (const std::string& name : solvers) {
+    auto solver = AlgorithmRegistry::Global().FindAdpar(name);
+    if (!solver.ok()) return solver.status();
+    solver_fns.push_back(std::move(*solver));
+  }
+
+  SweepReport report;
+  report.request_id = state_->NextId("sweep");
+  report.availability = *availability;
+  report.strategy_params.reserve(state_->profiles().size());
+  for (const core::StrategyProfile& profile : state_->profiles()) {
+    report.strategy_params.push_back(profile.EstimateParams(*availability));
+  }
+
+  report.outcomes.reserve(request.targets.size() * solvers.size());
+  for (size_t i = 0; i < request.targets.size(); ++i) {
+    const core::DeploymentRequest& target = request.targets[i];
+    const std::string target_id =
+        target.id.empty() ? "target-" + std::to_string(i) : target.id;
+    for (size_t s = 0; s < solvers.size(); ++s) {
+      SweepOutcome outcome;
+      outcome.target_id = target_id;
+      outcome.solver = solvers[s];
+      auto solved =
+          solver_fns[s](report.strategy_params, target.thresholds, target.k);
+      if (solved.ok()) {
+        outcome.result = std::move(*solved);
+      } else {
+        outcome.status = solved.status();
+      }
+      report.outcomes.push_back(std::move(outcome));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stats.sweeps += 1;
+  }
+  return report;
+}
+
+Result<StreamSession> Service::OpenStream(const StreamOptions& options) const {
+  auto availability = state_->Resolve(options.availability);
+  if (!availability.ok()) return availability.status();
+
+  const ServiceConfig& config = state_->config;
+  core::OnlineOptions online;
+  online.batch.objective =
+      options.objective.value_or(config.batch.objective);
+  online.batch.aggregation =
+      options.aggregation.value_or(config.batch.aggregation);
+  online.batch.policy = options.policy.value_or(config.batch.policy);
+  online.max_pending = options.max_pending.value_or(config.stream.max_pending);
+  online.readmit_on_release =
+      options.readmit_on_release.value_or(config.stream.readmit_on_release);
+
+  auto scheduler = core::OnlineScheduler::Create(state_->profiles(),
+                                                 *availability, online);
+  if (!scheduler.ok()) return scheduler.status();
+
+  auto session = std::make_shared<internal::SessionState>(
+      state_, state_->NextId("stream"), std::move(*scheduler));
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stats.streams_opened += 1;
+  }
+  return StreamSession(std::move(session));
+}
+
+Status Service::RegisterAvailabilityModel(std::string name,
+                                          core::AvailabilityModel model) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("availability model name is empty");
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->models.emplace(std::move(name), std::move(model)).second) {
+    return Status::FailedPrecondition(
+        "availability model name is already registered");
+  }
+  return Status::OK();
+}
+
+const std::vector<core::Strategy>& Service::strategies() const {
+  return state_->stratrec.aggregator().strategies();
+}
+
+const std::vector<core::StrategyProfile>& Service::profiles() const {
+  return state_->profiles();
+}
+
+const ServiceConfig& Service::config() const { return state_->config; }
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+// ---------------------------------------------------------------------------
+// StreamSession
+// ---------------------------------------------------------------------------
+
+const std::string& StreamSession::id() const { return state_->id; }
+
+Result<StreamUpdate> StreamSession::Submit(const StreamEvent& event) {
+  StreamUpdate update;
+  update.session_id = state_->id;
+  update.kind = event.kind;
+
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  core::OnlineScheduler& scheduler = state_->scheduler;
+  switch (event.kind) {
+    case StreamEvent::Kind::kArrival: {
+      auto decision = scheduler.OnArrival(event.request);
+      if (!decision.ok()) return decision.status();
+      update.request_id = event.request.id;
+      update.decision = std::move(*decision);
+      break;
+    }
+    case StreamEvent::Kind::kRevocation:
+      STRATREC_RETURN_NOT_OK(scheduler.OnRevocation(event.request_id));
+      update.request_id = event.request_id;
+      break;
+    case StreamEvent::Kind::kCompletion:
+      STRATREC_RETURN_NOT_OK(scheduler.OnCompletion(event.request_id));
+      update.request_id = event.request_id;
+      break;
+    case StreamEvent::Kind::kAvailabilityChange: {
+      auto resolved = state_->service->Resolve(event.availability);
+      if (!resolved.ok()) return resolved.status();
+      STRATREC_RETURN_NOT_OK(scheduler.SetAvailability(*resolved));
+      break;
+    }
+  }
+  update.availability = scheduler.availability();
+  update.used_workforce = scheduler.used_workforce();
+  update.active = scheduler.active();
+  update.pending = scheduler.pending();
+
+  {
+    std::lock_guard<std::mutex> service_lock(state_->service->mutex);
+    state_->service->stats.stream_events += 1;
+    if (event.kind == StreamEvent::Kind::kArrival) {
+      state_->service->stats.requests_processed += 1;
+    }
+  }
+  return update;
+}
+
+Result<core::AdmissionDecision> StreamSession::Arrive(
+    const core::DeploymentRequest& request) {
+  auto update = Submit(StreamEvent::Arrival(request));
+  if (!update.ok()) return update.status();
+  return std::move(update->decision);
+}
+
+Status StreamSession::Revoke(const std::string& request_id) {
+  auto update = Submit(StreamEvent::Revocation(request_id));
+  return update.ok() ? Status::OK() : update.status();
+}
+
+Status StreamSession::Complete(const std::string& request_id) {
+  auto update = Submit(StreamEvent::Completion(request_id));
+  return update.ok() ? Status::OK() : update.status();
+}
+
+Status StreamSession::SetAvailability(const AvailabilitySpec& availability) {
+  auto update = Submit(StreamEvent::AvailabilityChange(availability));
+  return update.ok() ? Status::OK() : update.status();
+}
+
+double StreamSession::availability() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->scheduler.availability();
+}
+
+double StreamSession::used_workforce() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->scheduler.used_workforce();
+}
+
+size_t StreamSession::active() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->scheduler.active();
+}
+
+size_t StreamSession::pending() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->scheduler.pending();
+}
+
+core::OnlineStats StreamSession::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->scheduler.stats();
+}
+
+}  // namespace stratrec::api

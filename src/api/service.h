@@ -1,0 +1,119 @@
+// stratrec::Service — the one public entry point of the middle layer.
+//
+// The paper's StratRec (Figure 1) is a single optimization service between
+// requesters and the platform. This facade makes that literal: a platform
+// constructs one Service per strategy catalog and drives it in three modes —
+//
+//   SubmitBatch()  the Figure-1 batch pipeline (wraps core::StratRec),
+//   OpenStream()   a session over the Section-7 dynamic setting
+//                  (wraps core::OnlineScheduler behind a handle),
+//   RunSweep()     the ADPaR solver family side by side, including the
+//                  paper's literal sweep (wraps adpar_paper_sweep.h).
+//
+// The Service is a value-semantic handle over shared, mutex-guarded state
+// (the SimGrid facade idiom): copies address the same service, every method
+// is safe to call from many threads, and stream sessions keep the service
+// alive. Algorithms are selected by registry name (see registry.h), so new
+// backends plug in without touching any caller.
+#ifndef STRATREC_API_SERVICE_H_
+#define STRATREC_API_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/api/config.h"
+#include "src/api/envelope.h"
+#include "src/core/stratrec.h"
+
+namespace stratrec::api {
+
+namespace internal {
+struct ServiceState;
+struct SessionState;
+}  // namespace internal
+
+/// A live stream session: the rolling-BatchStrat scheduler of the paper's
+/// closing open problem, owned by the service, driven by one requester
+/// event loop at a time (methods are mutex-guarded, so sharing a session
+/// across threads is safe too).
+class StreamSession {
+ public:
+  /// Stable session id ("stream-000003"); doubles as the report key.
+  const std::string& id() const;
+
+  /// Uniform entry point: applies one event, returns the post-event state.
+  Result<StreamUpdate> Submit(const StreamEvent& event);
+
+  /// Conveniences over Submit().
+  Result<core::AdmissionDecision> Arrive(const core::DeploymentRequest& request);
+  Status Revoke(const std::string& request_id);
+  Status Complete(const std::string& request_id);
+  Status SetAvailability(const AvailabilitySpec& availability);
+
+  /// Capacity snapshot and lifetime counters of this session.
+  double availability() const;
+  double used_workforce() const;
+  size_t active() const;
+  size_t pending() const;
+  core::OnlineStats stats() const;
+
+ private:
+  friend class Service;
+  explicit StreamSession(std::shared_ptr<internal::SessionState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::SessionState> state_;
+};
+
+/// The session-oriented facade. Construct once per strategy catalog.
+class Service {
+ public:
+  /// Validates the catalog (Aggregator alignment rules) and the config
+  /// (registry names resolve, availability spec well-formed).
+  static Result<Service> Create(core::Catalog catalog,
+                                ServiceConfig config = {});
+
+  /// Convenience overload mirroring core::StratRec::Create.
+  static Result<Service> Create(std::vector<core::Strategy> strategies,
+                                std::vector<core::StrategyProfile> profiles,
+                                ServiceConfig config = {});
+
+  /// Batch mode: the full Figure-1 pipeline on one batch of requests.
+  Result<BatchReport> SubmitBatch(const BatchRequest& request) const;
+
+  /// Sweep mode: every target x every named adpar backend at one W.
+  Result<SweepReport> RunSweep(const SweepRequest& request) const;
+
+  /// Stream mode: opens an independent session; many sessions may run
+  /// concurrently against one service.
+  Result<StreamSession> OpenStream(const StreamOptions& options = {}) const;
+
+  /// Registers an availability model under `name` for AvailabilitySpec::
+  /// Named lookups (e.g. one model per deployment window). Fails with
+  /// kFailedPrecondition when the name is taken.
+  Status RegisterAvailabilityModel(std::string name,
+                                   core::AvailabilityModel model) const;
+
+  /// The catalog the service was built from (owned by the wrapped
+  /// aggregator — the service keeps no second copy).
+  const std::vector<core::Strategy>& strategies() const;
+  const std::vector<core::StrategyProfile>& profiles() const;
+
+  const ServiceConfig& config() const;
+  /// Snapshot of the lifetime counters.
+  ServiceStats stats() const;
+
+ private:
+  explicit Service(std::shared_ptr<internal::ServiceState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::ServiceState> state_;
+};
+
+}  // namespace stratrec::api
+
+namespace stratrec {
+// The facade is the product: surface it at the top-level namespace.
+using api::Service;
+using api::StreamSession;
+}  // namespace stratrec
+
+#endif  // STRATREC_API_SERVICE_H_

@@ -21,6 +21,7 @@
 #define STRATREC_CORE_ADPAR_H_
 
 #include <array>
+#include <functional>
 #include <vector>
 
 #include "src/common/status.h"
@@ -76,6 +77,12 @@ struct AdparTrace {
 Result<AdparResult> AdparExact(const std::vector<ParamVector>& strategies,
                                const ParamVector& request, int k,
                                AdparTrace* trace = nullptr);
+
+/// A pluggable alternative-recommendation solver (AdparExact, the paper's
+/// literal sweep, the baselines, ...). StratRec and the api-layer registry
+/// accept any callable with this shape.
+using AdparSolverFn = std::function<Result<AdparResult>(
+    const std::vector<ParamVector>&, const ParamVector&, int)>;
 
 /// Picks the `k` covered strategies reported for an alternative `d_prime`
 /// (shared by all solvers for deterministic, comparable outputs). Requires

@@ -14,6 +14,10 @@ Result<Aggregator> Aggregator::Create(std::vector<Strategy> strategies,
   return Aggregator(std::move(strategies), std::move(profiles));
 }
 
+Result<Aggregator> Aggregator::Create(Catalog catalog) {
+  return Create(std::move(catalog.strategies), std::move(catalog.profiles));
+}
+
 Result<AggregatorReport> Aggregator::Run(
     const std::vector<DeploymentRequest>& requests,
     const AvailabilityModel& availability, const BatchOptions& options,
@@ -25,8 +29,18 @@ Result<AggregatorReport> Aggregator::Run(
 Result<AggregatorReport> Aggregator::RunAtAvailability(
     const std::vector<DeploymentRequest>& requests, double availability,
     const BatchOptions& options, BatchAlgorithm algorithm) const {
+  return RunAtAvailability(requests, availability, options,
+                           SolverForAlgorithm(algorithm));
+}
+
+Result<AggregatorReport> Aggregator::RunAtAvailability(
+    const std::vector<DeploymentRequest>& requests, double availability,
+    const BatchOptions& options, const BatchSolverFn& solver) const {
   if (availability < 0.0 || availability > 1.0) {
     return Status::InvalidArgument("availability must lie in [0, 1]");
+  }
+  if (!solver) {
+    return Status::InvalidArgument("batch solver must be non-null");
   }
   AggregatorReport report;
   report.availability = availability;
@@ -34,8 +48,7 @@ Result<AggregatorReport> Aggregator::RunAtAvailability(
   for (const StrategyProfile& profile : profiles_) {
     report.strategy_params.push_back(profile.EstimateParams(availability));
   }
-  auto batch =
-      SolveBatch(requests, profiles_, availability, options, algorithm);
+  auto batch = solver(requests, profiles_, availability, options);
   if (!batch.ok()) return batch.status();
   report.batch = std::move(*batch);
   return report;

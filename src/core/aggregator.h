@@ -17,6 +17,13 @@
 
 namespace stratrec::core {
 
+/// A platform's strategy catalog: `profiles[j]` models `strategies[j]`.
+/// The unit every facade (Aggregator, StratRec, api::Service) is built from.
+struct Catalog {
+  std::vector<Strategy> strategies;
+  std::vector<StrategyProfile> profiles;
+};
+
 /// Everything the Aggregator derives for one batch.
 struct AggregatorReport {
   /// Expected availability W consumed by the optimization.
@@ -35,6 +42,7 @@ class Aggregator {
   /// `strategies[j]`. Both must be index-aligned and equally sized.
   static Result<Aggregator> Create(std::vector<Strategy> strategies,
                                    std::vector<StrategyProfile> profiles);
+  static Result<Aggregator> Create(Catalog catalog);
 
   const std::vector<Strategy>& strategies() const { return strategies_; }
   const std::vector<StrategyProfile>& profiles() const { return profiles_; }
@@ -51,6 +59,12 @@ class Aggregator {
       const std::vector<DeploymentRequest>& requests, double availability,
       const BatchOptions& options,
       BatchAlgorithm algorithm = BatchAlgorithm::kBatchStrat) const;
+
+  /// Same pipeline with a pluggable batch solver (api-layer registry
+  /// backends). `solver` must be non-null.
+  Result<AggregatorReport> RunAtAvailability(
+      const std::vector<DeploymentRequest>& requests, double availability,
+      const BatchOptions& options, const BatchSolverFn& solver) const;
 
  private:
   Aggregator(std::vector<Strategy> strategies,

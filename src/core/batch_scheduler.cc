@@ -129,4 +129,25 @@ Result<BatchResult> BruteForceBatch(
                     BatchAlgorithm::kBruteForce);
 }
 
+const char* BatchAlgorithmName(BatchAlgorithm algorithm) {
+  switch (algorithm) {
+    case BatchAlgorithm::kBatchStrat:
+      return "batchstrat";
+    case BatchAlgorithm::kBaselineG:
+      return "baseline-g";
+    case BatchAlgorithm::kBruteForce:
+      return "brute-force";
+  }
+  return "?";
+}
+
+BatchSolverFn SolverForAlgorithm(BatchAlgorithm algorithm) {
+  return [algorithm](const std::vector<DeploymentRequest>& requests,
+                     const std::vector<StrategyProfile>& profiles,
+                     double available_workforce, const BatchOptions& options) {
+    return SolveBatch(requests, profiles, available_workforce, options,
+                      algorithm);
+  };
+}
+
 }  // namespace stratrec::core

@@ -9,6 +9,7 @@
 #ifndef STRATREC_CORE_BATCH_SCHEDULER_H_
 #define STRATREC_CORE_BATCH_SCHEDULER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/common/status.h"
@@ -59,6 +60,20 @@ enum class BatchAlgorithm {
   kBaselineG,   ///< plain density greedy without the guard
   kBruteForce,  ///< exponential exact enumeration (m <= 25)
 };
+
+/// Stable lower-case name ("batchstrat", "baseline-g", "brute-force") used
+/// by the api-layer algorithm registry and sweep reports.
+const char* BatchAlgorithmName(BatchAlgorithm algorithm);
+
+/// A pluggable batch solver: anything with the SolveBatch signature. The
+/// Aggregator/StratRec pipeline accepts one of these so backends beyond the
+/// built-in enum (api-layer registry entries) slot in without core changes.
+using BatchSolverFn = std::function<Result<BatchResult>(
+    const std::vector<DeploymentRequest>&, const std::vector<StrategyProfile>&,
+    double, const BatchOptions&)>;
+
+/// The built-in solver for `algorithm`, as a BatchSolverFn.
+BatchSolverFn SolverForAlgorithm(BatchAlgorithm algorithm);
 
 /// Solves the batch deployment recommendation problem.
 ///

@@ -40,7 +40,7 @@ double OnlineScheduler::Value(const DeploymentRequest& request) const {
 void OnlineScheduler::Admit(const DeploymentRequest& request, double workforce,
                             double value) {
   used_ += workforce;
-  active_.emplace(request.id, ActiveEntry{request, workforce, value});
+  active_.emplace(request.id, Entry{request, workforce, value});
   stats_.admitted += 1;
   stats_.objective += value;
   NoteUtilization();
@@ -76,7 +76,7 @@ Result<AdmissionDecision> OnlineScheduler::OnArrival(
     return decision;
   }
   if (pending_.size() < options_.max_pending) {
-    pending_.push_back(PendingEntry{request, workforce, Value(request)});
+    pending_.push_back(Entry{request, workforce, Value(request)});
     stats_.queued += 1;
     decision.kind = AdmissionDecision::Kind::kQueued;
     decision.workforce = workforce;
@@ -91,10 +91,10 @@ void OnlineScheduler::DrainPending() {
   if (!options_.readmit_on_release || pending_.empty()) return;
   // Rolling BatchStrat: re-admit pending requests in density order while
   // they fit the freed capacity.
-  std::vector<PendingEntry> entries(pending_.begin(), pending_.end());
+  std::vector<Entry> entries(pending_.begin(), pending_.end());
   pending_.clear();
   std::stable_sort(entries.begin(), entries.end(),
-                   [](const PendingEntry& a, const PendingEntry& b) {
+                   [](const Entry& a, const Entry& b) {
                      const double da = a.workforce > 0
                                            ? a.value / a.workforce
                                            : std::numeric_limits<double>::infinity();

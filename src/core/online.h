@@ -89,12 +89,9 @@ class OnlineScheduler {
   const OnlineStats& stats() const { return stats_; }
 
  private:
-  struct ActiveEntry {
-    DeploymentRequest request;
-    double workforce = 0.0;
-    double value = 0.0;
-  };
-  struct PendingEntry {
+  /// A priced request, whether serving (active map) or waiting (pending
+  /// queue): the admission bookkeeping is identical in both states.
+  struct Entry {
     DeploymentRequest request;
     double workforce = 0.0;
     double value = 0.0;
@@ -119,8 +116,8 @@ class OnlineScheduler {
   double availability_ = 0.0;
   OnlineOptions options_;
   double used_ = 0.0;
-  std::unordered_map<std::string, ActiveEntry> active_;
-  std::deque<PendingEntry> pending_;
+  std::unordered_map<std::string, Entry> active_;
+  std::deque<Entry> pending_;
   OnlineStats stats_;
 };
 

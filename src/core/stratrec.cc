@@ -10,6 +10,12 @@ Result<StratRec> StratRec::Create(std::vector<Strategy> strategies,
   return StratRec(std::move(*aggregator));
 }
 
+Result<StratRec> StratRec::Create(Catalog catalog) {
+  auto aggregator = Aggregator::Create(std::move(catalog));
+  if (!aggregator.ok()) return aggregator.status();
+  return StratRec(std::move(*aggregator));
+}
+
 Result<StratRecReport> StratRec::ProcessBatch(
     const std::vector<DeploymentRequest>& requests,
     const AvailabilityModel& availability,
@@ -21,20 +27,27 @@ Result<StratRecReport> StratRec::ProcessBatch(
 Result<StratRecReport> StratRec::ProcessBatchAtAvailability(
     const std::vector<DeploymentRequest>& requests, double availability,
     const StratRecOptions& options) const {
-  auto report = aggregator_.RunAtAvailability(requests, availability,
-                                              options.batch, options.algorithm);
+  auto report = aggregator_.RunAtAvailability(
+      requests, availability, options.batch,
+      options.batch_solver ? options.batch_solver
+                           : SolverForAlgorithm(options.algorithm));
   if (!report.ok()) return report.status();
 
   StratRecReport out;
   out.aggregator = std::move(*report);
   if (!options.recommend_alternatives) return out;
 
+  const AdparSolverFn& adpar =
+      options.adpar_solver
+          ? options.adpar_solver
+          : [](const std::vector<ParamVector>& params, const ParamVector& d,
+               int k) { return AdparExact(params, d, k, nullptr); };
+
   // Unsatisfied requests are forwarded to ADPaR one by one (Section 2.2),
   // against the concrete strategy parameters estimated at W.
   for (size_t index : out.aggregator.batch.unsatisfied) {
-    auto alternative = AdparExact(out.aggregator.strategy_params,
-                                  requests[index].thresholds,
-                                  requests[index].k);
+    auto alternative = adpar(out.aggregator.strategy_params,
+                             requests[index].thresholds, requests[index].k);
     if (alternative.ok()) {
       out.alternatives.push_back(
           AlternativeRecommendation{index, std::move(*alternative)});

@@ -21,6 +21,11 @@ struct StratRecOptions {
   BatchAlgorithm algorithm = BatchAlgorithm::kBatchStrat;
   /// When false, unsatisfied requests are reported without alternatives.
   bool recommend_alternatives = true;
+  /// Pluggable backends (api-layer registry). When set, `batch_solver`
+  /// overrides `algorithm` and `adpar_solver` overrides the default
+  /// AdparExact for alternative recommendation.
+  BatchSolverFn batch_solver;
+  AdparSolverFn adpar_solver;
 };
 
 /// ADPaR's output for one unsatisfied request.
@@ -52,6 +57,7 @@ class StratRec {
   /// See Aggregator::Create for the alignment requirements.
   static Result<StratRec> Create(std::vector<Strategy> strategies,
                                  std::vector<StrategyProfile> profiles);
+  static Result<StratRec> Create(Catalog catalog);
 
   const Aggregator& aggregator() const { return aggregator_; }
 

@@ -57,17 +57,22 @@ std::vector<core::Observation> AmtSimulator::CollectModelObservations(
                                        options_.observation_repetitions);
 }
 
-Result<core::StratRec> AmtSimulator::BuildStratRec(TaskType type) {
-  std::vector<core::Strategy> strategies;
-  std::vector<core::StrategyProfile> profiles;
+Result<core::Catalog> AmtSimulator::BuildCatalog(TaskType type) {
+  core::Catalog catalog;
   for (const StageSpec& stage : core::AllStageSpecs()) {
     auto observations = CollectModelObservations(type, stage);
     auto fitted = core::FitProfile(observations);
     if (!fitted.ok()) return fitted.status();
-    strategies.emplace_back(core::StageName(stage), stage);
-    profiles.push_back(fitted->profile);
+    catalog.strategies.emplace_back(core::StageName(stage), stage);
+    catalog.profiles.push_back(fitted->profile);
   }
-  return core::StratRec::Create(std::move(strategies), std::move(profiles));
+  return catalog;
+}
+
+Result<core::StratRec> AmtSimulator::BuildStratRec(TaskType type) {
+  auto catalog = BuildCatalog(type);
+  if (!catalog.ok()) return catalog.status();
+  return core::StratRec::Create(std::move(*catalog));
 }
 
 Result<MirroredStudyResult> AmtSimulator::RunMirroredStudy(

@@ -62,7 +62,11 @@ class AmtSimulator {
       TaskType type, const core::StageSpec& stage);
 
   /// Fits the full 8-stage strategy catalog from simulated historical
-  /// deployments and assembles a StratRec instance over it.
+  /// deployments. The api-layer Service (and BuildStratRec below) are
+  /// constructed from this.
+  Result<core::Catalog> BuildCatalog(TaskType type);
+
+  /// Fits the catalog and assembles a StratRec instance over it.
   Result<core::StratRec> BuildStratRec(TaskType type);
 
   /// Figure 13: `num_tasks` mirrored deployments — one following StratRec's
