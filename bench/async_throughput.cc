@@ -1,0 +1,153 @@
+// Async batch throughput: the paper's million-strategy headline workload
+// (Figure 18a's BatchStrat setup: m = 10 requests against |S| = 1,000,000
+// strategies) pushed through the asynchronous Service API at 1 / 2 / 4 / 8
+// worker threads. Each configuration submits a fleet of batches via
+// SubmitBatchAsync and waits for every ticket; throughput is deployment
+// requests per second of wall clock. The run prints the ASCII table every
+// bench driver emits, plus machine-readable JSON (stdout and
+// async_throughput.json) so successive PRs can track the perf trajectory.
+//
+// Usage: bench_async_throughput [strategies] [batches] [requests_per_batch]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/catalog.h"
+#include "src/api/service.h"
+#include "src/common/ascii_table.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+namespace api = stratrec::api;
+namespace core = stratrec::core;
+namespace workload = stratrec::workload;
+
+struct RunResult {
+  size_t threads = 0;
+  size_t batches = 0;
+  size_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+double MeasureSeconds(const stratrec::Service& service,
+                      const std::vector<api::BatchRequest>& batches) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<stratrec::Ticket<api::BatchReport>> tickets;
+  tickets.reserve(batches.size());
+  for (const api::BatchRequest& batch : batches) {
+    tickets.push_back(service.SubmitBatchAsync(batch));
+  }
+  for (auto& ticket : tickets) {
+    auto report = ticket.Wait();
+    if (!report.ok()) {
+      std::fprintf(stderr, "ticket %s failed: %s\n", ticket.id().c_str(),
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_strategies =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+  const size_t num_batches =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const size_t requests_per_batch =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf(
+      "Async batch throughput: %zu batches x %zu requests against %zu "
+      "strategies (%u hardware threads)\n"
+      "Speedups above the hardware thread count are oversubscription, not "
+      "parallelism.\n\n",
+      num_batches, requests_per_batch, num_strategies, hardware);
+
+  workload::Generator generator({}, 0xA51C'BE4Cull);
+  const auto profiles = generator.Profiles(static_cast<int>(num_strategies));
+  std::vector<api::BatchRequest> batches(num_batches);
+  for (api::BatchRequest& batch : batches) {
+    batch.requests = generator.RequestsWithRanges(
+        static_cast<int>(requests_per_batch), 10, {0.50, 0.75}, {0.70, 1.0},
+        {0.70, 1.0});
+    batch.availability = api::AvailabilitySpec::Fixed(0.5);
+    batch.aggregation = core::AggregationMode::kMax;
+    batch.recommend_alternatives = false;
+  }
+
+  std::vector<RunResult> results;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    api::ServiceConfig config;
+    config.execution.worker_threads = threads;
+    auto service =
+        stratrec::Service::Create(api::CatalogFromProfiles(profiles), config);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service setup failed: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    // One untimed warm-up batch per configuration (first-touch effects).
+    (void)service->SubmitBatch(batches.front());
+
+    RunResult run;
+    run.threads = threads;
+    run.batches = num_batches;
+    run.requests = num_batches * requests_per_batch;
+    run.seconds = MeasureSeconds(*service, batches);
+    run.requests_per_sec =
+        run.seconds > 0.0 ? static_cast<double>(run.requests) / run.seconds
+                          : 0.0;
+    run.speedup =
+        results.empty() ? 1.0 : results.front().seconds / run.seconds;
+    results.push_back(run);
+  }
+
+  stratrec::AsciiTable table(
+      {"threads", "batches", "seconds", "requests/sec", "speedup vs 1"});
+  for (const RunResult& run : results) {
+    table.AddRow({std::to_string(run.threads), std::to_string(run.batches),
+                  stratrec::FormatDouble(run.seconds, 3),
+                  stratrec::FormatDouble(run.requests_per_sec, 1),
+                  stratrec::FormatDouble(run.speedup, 2) + "x"});
+  }
+  table.Print();
+
+  // Machine-readable trajectory: one JSON object per configuration.
+  std::string json = "{\n  \"workload\": {\"strategies\": " +
+                     std::to_string(num_strategies) +
+                     ", \"batches\": " + std::to_string(num_batches) +
+                     ", \"requests_per_batch\": " +
+                     std::to_string(requests_per_batch) +
+                     ", \"hardware_threads\": " + std::to_string(hardware) +
+                     "},\n  \"runs\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& run = results[i];
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    {\"threads\": " + std::to_string(run.threads) +
+            ", \"seconds\": " + stratrec::FormatDouble(run.seconds, 6) +
+            ", \"requests_per_sec\": " +
+            stratrec::FormatDouble(run.requests_per_sec, 2) +
+            ", \"speedup_vs_1\": " + stratrec::FormatDouble(run.speedup, 4) +
+            "}";
+  }
+  json += "\n  ]\n}\n";
+  std::printf("\n%s", json.c_str());
+
+  if (FILE* out = std::fopen("async_throughput.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("(written to async_throughput.json)\n");
+  }
+  return 0;
+}

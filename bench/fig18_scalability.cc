@@ -10,6 +10,7 @@
 
 #include "src/api/catalog.h"
 #include "src/api/service.h"
+#include "src/common/executor.h"
 #include "src/core/adpar.h"
 #include "src/workload/generators.h"
 
@@ -146,6 +147,24 @@ void BM_WorkforceMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkforceMatrix)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorkforceMatrixParallel(benchmark::State& state) {
+  // The m x |S| matrix partitioned across an executor pool; compare against
+  // BM_WorkforceMatrix/100000 for the threading win on this machine.
+  const int num_s = 100000;
+  stratrec::Executor executor(static_cast<size_t>(state.range(0)));
+  workload::Generator generator({}, 0xF16'18ull + 5);
+  const auto profiles = generator.Profiles(num_s);
+  const auto requests = generator.Requests(10, 10);
+  for (auto _ : state) {
+    auto matrix = core::WorkforceMatrix::Compute(
+        requests, profiles, core::WorkforcePolicy::kMinimalWorkforce,
+        &executor, /*grain=*/4096);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_WorkforceMatrixParallel)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,12 +1,18 @@
 // Platform simulation: the full Figure 1 loop on the simulated AMT
 // platform — estimate worker availability from historical deployment
 // traces, fit strategy parameter models from observed deployments, stand up
-// a stratrec::Service over the fitted catalog, then run a batch of
-// sentence-translation deployment requests through it and print
-// recommendations plus ADPaR alternatives.
+// a stratrec::Service over the fitted catalog, then drive it the way a real
+// deployment would: several requester fronts submit their batches
+// *concurrently* through the asynchronous ticket API, completion callbacks
+// record the order the worker pool finishes them, and the early-week batch
+// is unpacked in detail (recommendations plus ADPaR alternatives).
 //
 // Run: ./build/examples/example_platform_simulation
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/api/service.h"
 #include "src/common/ascii_table.h"
@@ -47,7 +53,8 @@ int main() {
       availability->ExpectedAvailability());
 
   // --- Strategy catalog: all 8 single-stage strategies with models fitted
-  // from simulated historical deployments, fronted by one Service.
+  // from simulated historical deployments, fronted by one Service whose
+  // worker pool serves every requester below.
   auto catalog = amt.BuildCatalog(task_type);
   if (!catalog.ok()) {
     std::fprintf(stderr, "model fitting failed: %s\n",
@@ -57,14 +64,16 @@ int main() {
   api::ServiceConfig config;
   config.batch.objective = core::Objective::kPayoff;
   config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 4;
   auto service = stratrec::Service::Create(std::move(*catalog), config);
   if (!service.ok()) {
     std::fprintf(stderr, "service setup failed: %s\n",
                  service.status().ToString().c_str());
     return 1;
   }
-  std::printf("Fitted linear models for %zu strategies.\n\n",
-              service->strategies().size());
+  std::printf("Fitted linear models for %zu strategies; service pool: %zu "
+              "worker threads.\n\n",
+              service->strategies().size(), service->worker_threads());
 
   // --- Register the estimated window model; batches refer to it by name.
   if (auto st = service->RegisterAvailabilityModel("early-week",
@@ -75,34 +84,103 @@ int main() {
     return 1;
   }
 
-  // --- A batch of deployment requests from different requesters.
-  api::BatchRequest batch;
-  batch.requests = {
+  // --- Three requester fronts, each with its own batch and its own view of
+  // worker availability, submitting concurrently against one service.
+  struct Front {
+    const char* label;
+    api::BatchRequest batch;
+  };
+  std::vector<Front> fronts(3);
+  fronts[0].label = "early-week";
+  fronts[0].batch.requests = {
       {"newsroom",  {0.75, 0.60, 0.70}, 2},  // high quality, moderate budget
       {"hobbyist",  {0.60, 0.30, 0.90}, 1},  // cheap and relaxed
       {"archive",   {0.70, 0.80, 0.50}, 3},  // fast turnaround
       {"perfection",{0.97, 0.15, 0.20}, 2},  // unrealistic -> ADPaR
   };
-  batch.availability = api::AvailabilitySpec::Named("early-week");
+  fronts[0].batch.availability = api::AvailabilitySpec::Named("early-week");
+  fronts[1].label = "weekend-lull";
+  fronts[1].batch.requests = {
+      {"newsletter", {0.65, 0.50, 0.80}, 2},
+      {"caption-qa", {0.80, 0.70, 0.60}, 2},
+  };
+  fronts[1].batch.availability = api::AvailabilitySpec::Fixed(0.45);
+  fronts[2].label = "prime-time";
+  fronts[2].batch.requests = {
+      {"docs-sprint", {0.72, 0.65, 0.55}, 3},
+      {"forum-triage",{0.55, 0.25, 0.95}, 1},
+      {"press-kit",   {0.85, 0.75, 0.40}, 2},
+  };
+  fronts[2].batch.availability = api::AvailabilitySpec::Fixed(0.85);
 
-  auto report = service->SubmitBatch(batch);
-  if (!report.ok()) {
-    std::fprintf(stderr, "SubmitBatch failed: %s\n",
-                 report.status().ToString().c_str());
-    return 1;
+  // Submit every front without waiting; callbacks record completion order.
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  std::vector<stratrec::Ticket<api::BatchReport>> tickets;
+  tickets.reserve(fronts.size());
+  for (Front& front : fronts) {
+    tickets.push_back(service->SubmitBatchAsync(front.batch));
+    const char* label = front.label;
+    (void)tickets.back().OnComplete(
+        [label, &order_mutex, &completion_order](
+            const stratrec::Result<api::BatchReport>& report) {
+          std::lock_guard<std::mutex> lock(order_mutex);
+          completion_order.push_back(std::string(label) +
+                                     (report.ok() ? "" : " (failed)"));
+        });
+    std::printf("submitted %-12s as ticket %s\n", front.label,
+                tickets.back().id().c_str());
   }
 
-  std::printf("Batch %s outcomes at W = %.3f (pay-off objective):\n",
-              report->request_id.c_str(), report->availability);
+  // Gather the reports (submission order keeps the output stable; the pool
+  // may well have finished them in another order — see the callback log).
+  std::vector<api::BatchReport> reports;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto report = tickets[i].Wait();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s batch failed: %s\n", fronts[i].label,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    reports.push_back(std::move(*report));
+  }
+  {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    std::string joined;
+    for (const std::string& label : completion_order) {
+      if (!joined.empty()) joined += ", ";
+      joined += label;
+    }
+    std::printf("pool completion order: %s\n\n", joined.c_str());
+  }
+
+  AsciiTable summary(
+      {"front", "ticket", "W", "served", "alternatives"});
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const core::BatchResult& batch = reports[i].result.aggregator.batch;
+    summary.AddRow({fronts[i].label, reports[i].request_id,
+                    FormatDouble(reports[i].availability, 3),
+                    std::to_string(batch.satisfied.size()) + "/" +
+                        std::to_string(batch.outcomes.size()),
+                    std::to_string(reports[i].result.alternatives.size())});
+  }
+  summary.Print();
+
+  // --- The early-week batch in detail.
+  const api::BatchReport& report = reports.front();
+  const std::vector<core::DeploymentRequest>& requests =
+      fronts.front().batch.requests;
+  std::printf("\nBatch %s outcomes at W = %.3f (pay-off objective):\n",
+              report.request_id.c_str(), report.availability);
   AsciiTable outcomes({"request", "served", "strategies", "workforce"});
   const auto& strategies = service->strategies();
-  for (const auto& outcome : report->result.aggregator.batch.outcomes) {
+  for (const auto& outcome : report.result.aggregator.batch.outcomes) {
     std::string names;
     for (size_t j : outcome.strategies) {
       if (!names.empty()) names += ",";
       names += strategies[j].Describe();
     }
-    outcomes.AddRow({batch.requests[outcome.request_index].id,
+    outcomes.AddRow({requests[outcome.request_index].id,
                      outcome.satisfied ? "yes" : "no",
                      names.empty() ? "-" : names,
                      FormatDouble(outcome.workforce, 3)});
@@ -111,12 +189,12 @@ int main() {
 
   std::printf("\nADPaR alternatives:\n");
   AsciiTable alternatives({"request", "alternative d'", "distance"});
-  for (const auto& alt : report->result.alternatives) {
-    alternatives.AddRow({batch.requests[alt.request_index].id,
+  for (const auto& alt : report.result.alternatives) {
+    alternatives.AddRow({requests[alt.request_index].id,
                          alt.result.alternative.ToString(),
                          FormatDouble(alt.result.distance, 4)});
   }
-  if (report->result.alternatives.empty()) {
+  if (report.result.alternatives.empty()) {
     alternatives.AddRow({"-", "-", "-"});
   }
   alternatives.Print();
@@ -126,11 +204,11 @@ int main() {
       "succeed)\n");
 
   // --- Deploy the first served request for real and report the outcome.
-  for (const auto& outcome : report->result.aggregator.batch.outcomes) {
+  for (const auto& outcome : report.result.aggregator.batch.outcomes) {
     if (!outcome.satisfied || outcome.strategies.empty()) continue;
     const auto& strategy = strategies[outcome.strategies.front()];
     std::printf("\nDeploying '%s' with %s ...\n",
-                batch.requests[outcome.request_index].id.c_str(),
+                requests[outcome.request_index].id.c_str(),
                 strategy.Describe().c_str());
     platform::ExecutionSimulator executor(&amt.pool(),
                                           platform::ExecutionOptions{}, 7);
@@ -138,7 +216,7 @@ int main() {
                                        platform::SampleTasks(task_type));
     const auto deployed = executor.ExecuteAtAvailability(
         hit, strategy.stages().front(),
-        report->availability, /*guided=*/true);
+        report.availability, /*guided=*/true);
     std::printf(
         "observed quality %.2f, cost %.2f, latency %.2f (%d edits, %d "
         "conflicts)\n",
@@ -146,5 +224,9 @@ int main() {
         deployed.observed.latency, deployed.num_edits, deployed.num_conflicts);
     break;
   }
+
+  const api::ServiceStats stats = service->stats();
+  std::printf("\nService lifetime: %zu batches, %zu requests processed.\n",
+              stats.batches, stats.requests_processed);
   return 0;
 }

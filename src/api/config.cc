@@ -13,6 +13,14 @@ Status ValidateConfig(const ServiceConfig& config) {
     auto resolved = ResolveAvailability(config.availability, {}, 0.5);
     if (!resolved.ok()) return resolved.status();
   }
+  if (config.execution.worker_threads > 1024) {
+    return Status::InvalidArgument(
+        "execution.worker_threads must be <= 1024 (0 means hardware "
+        "concurrency)");
+  }
+  if (config.execution.parallel_grain == 0) {
+    return Status::InvalidArgument("execution.parallel_grain must be >= 1");
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #ifndef STRATREC_API_CONFIG_H_
 #define STRATREC_API_CONFIG_H_
 
+#include <cstddef>
 #include <string>
 
 #include "src/api/availability.h"
@@ -38,10 +39,26 @@ struct StreamDefaults {
   bool readmit_on_release = true;
 };
 
+/// Sizing of the service executor (the worker pool every SubmitBatchAsync /
+/// RunSweepAsync ticket runs on, and the pool the parallel pipeline stages
+/// partition across).
+struct ExecutionConfig {
+  /// Worker threads of the service pool; 0 means hardware concurrency.
+  size_t worker_threads = 0;
+  /// Minimum cells per chunk when the m x |S| workforce matrix is
+  /// partitioned across the pool. Small matrices stay single-chunk (and
+  /// therefore run on the submitting worker without any fan-out overhead).
+  /// Sweep cells and per-request ADPaR solves are whole solver runs — far
+  /// heavier than a matrix cell — so those always fan out one job per item,
+  /// independent of this knob.
+  size_t parallel_grain = 4096;
+};
+
 /// The one config a platform hands to Service::Create.
 struct ServiceConfig {
   BatchDefaults batch;
   StreamDefaults stream;
+  ExecutionConfig execution;
   /// Used whenever a request's availability spec is kDefault.
   AvailabilitySpec availability = AvailabilitySpec::Fixed(0.5);
 };

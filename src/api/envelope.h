@@ -141,6 +141,10 @@ struct StreamUpdate {
 // ---------------------------------------------------------------------------
 
 /// Lifetime counters of one Service (snapshot; see Service::stats()).
+///
+/// Counters are maintained on a striped atomic path (no shared lock), so
+/// concurrent requests never contend on stats accounting; stats() folds the
+/// stripes into this snapshot.
 struct ServiceStats {
   size_t batches = 0;
   size_t sweeps = 0;
@@ -148,6 +152,8 @@ struct ServiceStats {
   size_t stream_events = 0;
   /// Deployment requests seen across batches and stream arrivals.
   size_t requests_processed = 0;
+  /// Async tickets withdrawn via Cancel() before a worker claimed them.
+  size_t cancelled = 0;
 };
 
 }  // namespace stratrec::api

@@ -18,6 +18,20 @@ std::string JoinNames(const std::vector<std::string>& names) {
 
 }  // namespace
 
+core::BatchSolverFn MakeWeightedBatchSolver(core::ObjectiveWeights weights) {
+  return [weights](const std::vector<core::DeploymentRequest>& requests,
+                   const std::vector<core::StrategyProfile>& profiles,
+                   double available_workforce,
+                   const core::BatchOptions& options)
+             -> Result<core::BatchResult> {
+    auto result = core::SolveBatchWeighted(requests, profiles,
+                                           available_workforce, weights,
+                                           options);
+    if (!result.ok()) return result.status();
+    return std::move(result->batch);
+  };
+}
+
 AlgorithmRegistry& AlgorithmRegistry::Global() {
   static AlgorithmRegistry* registry = new AlgorithmRegistry();
   return *registry;
@@ -30,6 +44,7 @@ AlgorithmRegistry::AlgorithmRegistry() {
     batch_.emplace(core::BatchAlgorithmName(algorithm),
                    core::SolverForAlgorithm(algorithm));
   }
+  batch_.emplace("weighted", MakeWeightedBatchSolver(core::ObjectiveWeights{}));
   adpar_.emplace("exact", [](const std::vector<core::ParamVector>& strategies,
                              const core::ParamVector& request, int k) {
     return core::AdparExact(strategies, request, k, nullptr);

@@ -15,12 +15,21 @@
 
 #include "src/core/adpar.h"
 #include "src/core/batch_scheduler.h"
+#include "src/core/multi_objective.h"
 
 namespace stratrec::api {
 
+/// Wraps core::SolveBatchWeighted (the Section-7 multi-objective
+/// scalarization) as a registry-compatible batch backend. Register the
+/// returned solver under a name of your choice to make a particular weight
+/// mix selectable per request; the built-in "weighted" entry uses the
+/// default ObjectiveWeights.
+core::BatchSolverFn MakeWeightedBatchSolver(core::ObjectiveWeights weights);
+
 /// Process-wide registry of batch-deployment and alternative-recommendation
 /// backends. Thread-safe; the built-ins are seeded on first access:
-///   batch: "batchstrat", "baseline-g", "brute-force"
+///   batch: "batchstrat", "baseline-g", "brute-force",
+///          "weighted" (SolveBatchWeighted at default weights)
 ///   adpar: "exact", "paper-sweep", "baseline2", "baseline3", "brute"
 class AlgorithmRegistry {
  public:

@@ -1,32 +1,89 @@
 #include "src/api/service.h"
 
+#include <array>
 #include <atomic>
 #include <cstdio>
+#include <exception>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "src/api/registry.h"
+#include "src/common/executor.h"
 
 namespace stratrec::api {
 
 namespace internal {
 
-/// Shared state behind every Service handle and its sessions.
+/// One cache line of lifetime counters. Each thread sticks to one stripe,
+/// so concurrent requests never bounce a shared line; stats() folds all of
+/// them into a ServiceStats snapshot.
+struct alignas(64) StatsStripe {
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> sweeps{0};
+  std::atomic<uint64_t> streams_opened{0};
+  std::atomic<uint64_t> stream_events{0};
+  std::atomic<uint64_t> requests_processed{0};
+  std::atomic<uint64_t> cancelled{0};
+};
+
+class StripedStats {
+ public:
+  StatsStripe& Local() {
+    static std::atomic<size_t> next_slot{0};
+    thread_local const size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripes_[slot];
+  }
+
+  ServiceStats Snapshot() const {
+    ServiceStats out;
+    for (const StatsStripe& stripe : stripes_) {
+      out.batches += stripe.batches.load(std::memory_order_relaxed);
+      out.sweeps += stripe.sweeps.load(std::memory_order_relaxed);
+      out.streams_opened +=
+          stripe.streams_opened.load(std::memory_order_relaxed);
+      out.stream_events +=
+          stripe.stream_events.load(std::memory_order_relaxed);
+      out.requests_processed +=
+          stripe.requests_processed.load(std::memory_order_relaxed);
+      out.cancelled += stripe.cancelled.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr size_t kStripes = 16;
+  std::array<StatsStripe, kStripes> stripes_;
+};
+
+/// Shared state behind every Service handle and its sessions. No single
+/// service mutex: the named-model table is read-mostly behind a shared
+/// mutex, counters are striped atomics, and sessions carry their own lock.
 struct ServiceState {
   ServiceConfig config;
   /// The wrapped batch pipeline; its aggregator owns the catalog (the
   /// service keeps no second copy). ProcessBatch is const and therefore
-  /// safe under concurrent SubmitBatch calls without locking.
+  /// safe under concurrent jobs without locking.
   core::StratRec stratrec;
 
   std::atomic<uint64_t> next_id{1};
-  mutable std::mutex mutex;  ///< guards `models` and `stats`
+  mutable std::shared_mutex models_mutex;  ///< guards `models`
   std::unordered_map<std::string, core::AvailabilityModel> models;
-  ServiceStats stats;
+  StripedStats stats;
+
+  /// The worker pool every async ticket runs on and the pipeline stages
+  /// partition across. Declared last on purpose: it is destroyed first, and
+  /// its destructor drains still-queued tickets while the rest of this
+  /// state is alive.
+  Executor executor;
 
   ServiceState(ServiceConfig config_in, core::StratRec stratrec_in)
-      : config(std::move(config_in)), stratrec(std::move(stratrec_in)) {}
+      : config(std::move(config_in)),
+        stratrec(std::move(stratrec_in)),
+        executor(config.execution.worker_threads) {}
 
   const std::vector<core::StrategyProfile>& profiles() const {
     return stratrec.aggregator().profiles();
@@ -41,11 +98,7 @@ struct ServiceState {
   }
 
   Result<double> Resolve(const AvailabilitySpec& spec) const {
-    std::lock_guard<std::mutex> lock(mutex);
-    return ResolveWhileLocked(spec);
-  }
-
-  Result<double> ResolveWhileLocked(const AvailabilitySpec& spec) const {
+    std::shared_lock<std::shared_mutex> lock(models_mutex);
     double fallback = 0.5;
     if (config.availability.kind != AvailabilitySpec::Kind::kDefault &&
         spec.kind == AvailabilitySpec::Kind::kDefault) {
@@ -72,6 +125,127 @@ struct SessionState {
         scheduler(std::move(scheduler_in)) {}
 };
 
+namespace {
+
+/// Runs one job body, converting an escaping exception (a throwing
+/// user-registered solver, std::bad_alloc mid-pipeline) into a kInternal
+/// ticket outcome. The sync API used to let such exceptions unwind to the
+/// caller; on a pool worker they would instead terminate the process.
+template <typename Fn>
+auto GuardJob(Fn&& body) -> decltype(body()) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("job threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("job threw a non-std exception");
+  }
+}
+
+/// The batch pipeline body, run on a pool worker. `state` outlives every
+/// job: workers are joined (and the queue drained) before the rest of
+/// ServiceState is torn down.
+Result<BatchReport> ExecuteBatch(ServiceState* state,
+                                 const BatchRequest& request,
+                                 const std::string& id) {
+  const BatchDefaults& defaults = state->config.batch;
+  const std::string algorithm = request.algorithm.value_or(defaults.algorithm);
+  auto solver = AlgorithmRegistry::Global().FindBatch(algorithm);
+  if (!solver.ok()) return solver.status();
+  auto availability = state->Resolve(request.availability);
+  if (!availability.ok()) return availability.status();
+
+  core::StratRecOptions options;
+  options.batch.objective = request.objective.value_or(defaults.objective);
+  options.batch.aggregation =
+      request.aggregation.value_or(defaults.aggregation);
+  options.batch.policy = request.policy.value_or(defaults.policy);
+  // The embarrassingly-parallel stages (workforce matrix, ADPaR fan-out)
+  // partition across the same pool this job runs on; ParallelFor's caller
+  // participates, so this is safe even on a single-threaded pool.
+  options.batch.executor = &state->executor;
+  options.batch.parallel_grain = state->config.execution.parallel_grain;
+  options.recommend_alternatives =
+      request.recommend_alternatives.value_or(defaults.recommend_alternatives);
+  options.batch_solver = std::move(*solver);
+  if (options.recommend_alternatives) {
+    // Only resolved when it will run, so an unknown adpar name cannot fail
+    // a batch that never invokes it.
+    auto adpar = AlgorithmRegistry::Global().FindAdpar(
+        request.adpar_solver.value_or(defaults.adpar_solver));
+    if (!adpar.ok()) return adpar.status();
+    options.adpar_solver = std::move(*adpar);
+  }
+
+  auto result = state->stratrec.ProcessBatchAtAvailability(
+      request.requests, *availability, options);
+  if (!result.ok()) return result.status();
+
+  BatchReport report;
+  report.request_id = id;
+  report.algorithm = algorithm;
+  report.availability = *availability;
+  report.result = std::move(*result);
+  StatsStripe& stripe = state->stats.Local();
+  stripe.batches.fetch_add(1, std::memory_order_relaxed);
+  stripe.requests_processed.fetch_add(request.requests.size(),
+                                      std::memory_order_relaxed);
+  return report;
+}
+
+/// The sweep body, run on a pool worker; the |targets| x |solvers| cells
+/// are independent jobs fanned out across the pool, each writing its own
+/// pre-sized slot (deterministic regardless of scheduling).
+Result<SweepReport> ExecuteSweep(ServiceState* state,
+                                 const SweepRequest& request,
+                                 const std::string& id) {
+  auto availability = state->Resolve(request.availability);
+  if (!availability.ok()) return availability.status();
+
+  std::vector<std::string> solvers = request.solvers;
+  if (solvers.empty()) solvers.push_back(state->config.batch.adpar_solver);
+  std::vector<core::AdparSolverFn> solver_fns;
+  solver_fns.reserve(solvers.size());
+  for (const std::string& name : solvers) {
+    auto solver = AlgorithmRegistry::Global().FindAdpar(name);
+    if (!solver.ok()) return solver.status();
+    solver_fns.push_back(std::move(*solver));
+  }
+
+  SweepReport report;
+  report.request_id = id;
+  report.availability = *availability;
+  report.strategy_params.reserve(state->profiles().size());
+  for (const core::StrategyProfile& profile : state->profiles()) {
+    report.strategy_params.push_back(profile.EstimateParams(*availability));
+  }
+
+  report.outcomes.resize(request.targets.size() * solvers.size());
+  state->executor.ParallelFor(
+      report.outcomes.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t cell = begin; cell < end; ++cell) {
+          const size_t i = cell / solvers.size();
+          const size_t s = cell % solvers.size();
+          const core::DeploymentRequest& target = request.targets[i];
+          SweepOutcome& outcome = report.outcomes[cell];
+          outcome.target_id =
+              target.id.empty() ? "target-" + std::to_string(i) : target.id;
+          outcome.solver = solvers[s];
+          auto solved = solver_fns[s](report.strategy_params,
+                                      target.thresholds, target.k);
+          if (solved.ok()) {
+            outcome.result = std::move(*solved);
+          } else {
+            outcome.status = solved.status();
+          }
+        }
+      });
+  state->stats.Local().sweeps.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace
+
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -94,94 +268,48 @@ Result<Service> Service::Create(std::vector<core::Strategy> strategies,
       std::move(config));
 }
 
-Result<BatchReport> Service::SubmitBatch(const BatchRequest& request) const {
-  const BatchDefaults& defaults = state_->config.batch;
-  const std::string algorithm = request.algorithm.value_or(defaults.algorithm);
-  auto solver = AlgorithmRegistry::Global().FindBatch(algorithm);
-  if (!solver.ok()) return solver.status();
-  auto availability = state_->Resolve(request.availability);
-  if (!availability.ok()) return availability.status();
-
-  core::StratRecOptions options;
-  options.batch.objective = request.objective.value_or(defaults.objective);
-  options.batch.aggregation =
-      request.aggregation.value_or(defaults.aggregation);
-  options.batch.policy = request.policy.value_or(defaults.policy);
-  options.recommend_alternatives =
-      request.recommend_alternatives.value_or(defaults.recommend_alternatives);
-  options.batch_solver = std::move(*solver);
-  if (options.recommend_alternatives) {
-    // Only resolved when it will run, so an unknown adpar name cannot fail
-    // a batch that never invokes it.
-    auto adpar = AlgorithmRegistry::Global().FindAdpar(
-        request.adpar_solver.value_or(defaults.adpar_solver));
-    if (!adpar.ok()) return adpar.status();
-    options.adpar_solver = std::move(*adpar);
-  }
-
-  auto result = state_->stratrec.ProcessBatchAtAvailability(
-      request.requests, *availability, options);
-  if (!result.ok()) return result.status();
-
-  BatchReport report;
-  report.request_id = state_->NextId("batch");
-  report.algorithm = algorithm;
-  report.availability = *availability;
-  report.result = std::move(*result);
-  {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->stats.batches += 1;
-    state_->stats.requests_processed += request.requests.size();
-  }
-  return report;
+Ticket<BatchReport> Service::SubmitBatchAsync(BatchRequest request) const {
+  auto shared = std::make_shared<internal::TicketShared<BatchReport>>(
+      state_->NextId("batch"));
+  internal::ServiceState* state = state_.get();
+  state_->executor.Submit(
+      [state, shared, request = std::move(request)]() mutable {
+        if (!shared->BeginRun()) {
+          state->stats.Local().cancelled.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          return;
+        }
+        shared->Finish(internal::GuardJob([&]() {
+          return internal::ExecuteBatch(state, request, shared->id);
+        }));
+      });
+  return Ticket<BatchReport>(std::move(shared));
 }
 
-Result<SweepReport> Service::RunSweep(const SweepRequest& request) const {
-  auto availability = state_->Resolve(request.availability);
-  if (!availability.ok()) return availability.status();
+Ticket<SweepReport> Service::RunSweepAsync(SweepRequest request) const {
+  auto shared = std::make_shared<internal::TicketShared<SweepReport>>(
+      state_->NextId("sweep"));
+  internal::ServiceState* state = state_.get();
+  state_->executor.Submit(
+      [state, shared, request = std::move(request)]() mutable {
+        if (!shared->BeginRun()) {
+          state->stats.Local().cancelled.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          return;
+        }
+        shared->Finish(internal::GuardJob([&]() {
+          return internal::ExecuteSweep(state, request, shared->id);
+        }));
+      });
+  return Ticket<SweepReport>(std::move(shared));
+}
 
-  std::vector<std::string> solvers = request.solvers;
-  if (solvers.empty()) solvers.push_back(state_->config.batch.adpar_solver);
-  std::vector<core::AdparSolverFn> solver_fns;
-  solver_fns.reserve(solvers.size());
-  for (const std::string& name : solvers) {
-    auto solver = AlgorithmRegistry::Global().FindAdpar(name);
-    if (!solver.ok()) return solver.status();
-    solver_fns.push_back(std::move(*solver));
-  }
+Result<BatchReport> Service::SubmitBatch(BatchRequest request) const {
+  return SubmitBatchAsync(std::move(request)).Wait();
+}
 
-  SweepReport report;
-  report.request_id = state_->NextId("sweep");
-  report.availability = *availability;
-  report.strategy_params.reserve(state_->profiles().size());
-  for (const core::StrategyProfile& profile : state_->profiles()) {
-    report.strategy_params.push_back(profile.EstimateParams(*availability));
-  }
-
-  report.outcomes.reserve(request.targets.size() * solvers.size());
-  for (size_t i = 0; i < request.targets.size(); ++i) {
-    const core::DeploymentRequest& target = request.targets[i];
-    const std::string target_id =
-        target.id.empty() ? "target-" + std::to_string(i) : target.id;
-    for (size_t s = 0; s < solvers.size(); ++s) {
-      SweepOutcome outcome;
-      outcome.target_id = target_id;
-      outcome.solver = solvers[s];
-      auto solved =
-          solver_fns[s](report.strategy_params, target.thresholds, target.k);
-      if (solved.ok()) {
-        outcome.result = std::move(*solved);
-      } else {
-        outcome.status = solved.status();
-      }
-      report.outcomes.push_back(std::move(outcome));
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->stats.sweeps += 1;
-  }
-  return report;
+Result<SweepReport> Service::RunSweep(SweepRequest request) const {
+  return RunSweepAsync(std::move(request)).Wait();
 }
 
 Result<StreamSession> Service::OpenStream(const StreamOptions& options) const {
@@ -205,10 +333,7 @@ Result<StreamSession> Service::OpenStream(const StreamOptions& options) const {
 
   auto session = std::make_shared<internal::SessionState>(
       state_, state_->NextId("stream"), std::move(*scheduler));
-  {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->stats.streams_opened += 1;
-  }
+  state_->stats.Local().streams_opened.fetch_add(1, std::memory_order_relaxed);
   return StreamSession(std::move(session));
 }
 
@@ -217,7 +342,7 @@ Status Service::RegisterAvailabilityModel(std::string name,
   if (name.empty()) {
     return Status::InvalidArgument("availability model name is empty");
   }
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::unique_lock<std::shared_mutex> lock(state_->models_mutex);
   if (!state_->models.emplace(std::move(name), std::move(model)).second) {
     return Status::FailedPrecondition(
         "availability model name is already registered");
@@ -235,10 +360,9 @@ const std::vector<core::StrategyProfile>& Service::profiles() const {
 
 const ServiceConfig& Service::config() const { return state_->config; }
 
-ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->stats;
-}
+size_t Service::worker_threads() const { return state_->executor.threads(); }
+
+ServiceStats Service::stats() const { return state_->stats.Snapshot(); }
 
 // ---------------------------------------------------------------------------
 // StreamSession
@@ -281,12 +405,10 @@ Result<StreamUpdate> StreamSession::Submit(const StreamEvent& event) {
   update.active = scheduler.active();
   update.pending = scheduler.pending();
 
-  {
-    std::lock_guard<std::mutex> service_lock(state_->service->mutex);
-    state_->service->stats.stream_events += 1;
-    if (event.kind == StreamEvent::Kind::kArrival) {
-      state_->service->stats.requests_processed += 1;
-    }
+  internal::StatsStripe& stripe = state_->service->stats.Local();
+  stripe.stream_events.fetch_add(1, std::memory_order_relaxed);
+  if (event.kind == StreamEvent::Kind::kArrival) {
+    stripe.requests_processed.fetch_add(1, std::memory_order_relaxed);
   }
   return update;
 }

@@ -10,11 +10,23 @@
 //   RunSweep()     the ADPaR solver family side by side, including the
 //                  paper's literal sweep (wraps adpar_paper_sweep.h).
 //
-// The Service is a value-semantic handle over shared, mutex-guarded state
-// (the SimGrid facade idiom): copies address the same service, every method
-// is safe to call from many threads, and stream sessions keep the service
-// alive. Algorithms are selected by registry name (see registry.h), so new
-// backends plug in without touching any caller.
+// The service is asynchronous at heart: SubmitBatchAsync / RunSweepAsync
+// enqueue the work on a fixed executor pool (sized by ServiceConfig::
+// execution) and return a Ticket<Report> — a future-like handle with
+// Wait / TryGet / Cancel / OnComplete (see ticket.h). The synchronous
+// methods are thin wrappers (SubmitBatch == SubmitBatchAsync(...).Wait()),
+// so every caller funnels through one code path, and the pipeline itself is
+// parallel: the workforce matrix and the sweep cross-product partition
+// across the same pool.
+//
+// The Service is a value-semantic handle over shared state (the SimGrid
+// facade idiom): copies address the same service, every method is safe to
+// call from many threads, and stream sessions keep the service alive.
+// Shared state is sharded for concurrency — stream sessions lock only
+// themselves, stats ride a striped atomic path, and the named-model table
+// is read-mostly behind a shared mutex — so concurrent requests do not
+// contend on one service mutex. Algorithms are selected by registry name
+// (see registry.h), so new backends plug in without touching any caller.
 #ifndef STRATREC_API_SERVICE_H_
 #define STRATREC_API_SERVICE_H_
 
@@ -23,6 +35,7 @@
 
 #include "src/api/config.h"
 #include "src/api/envelope.h"
+#include "src/api/ticket.h"
 #include "src/core/stratrec.h"
 
 namespace stratrec::api {
@@ -68,7 +81,8 @@ class StreamSession {
 class Service {
  public:
   /// Validates the catalog (Aggregator alignment rules) and the config
-  /// (registry names resolve, availability spec well-formed).
+  /// (registry names resolve, availability spec well-formed, executor
+  /// sizing sane), then spins up the worker pool.
   static Result<Service> Create(core::Catalog catalog,
                                 ServiceConfig config = {});
 
@@ -77,11 +91,19 @@ class Service {
                                 std::vector<core::StrategyProfile> profiles,
                                 ServiceConfig config = {});
 
-  /// Batch mode: the full Figure-1 pipeline on one batch of requests.
-  Result<BatchReport> SubmitBatch(const BatchRequest& request) const;
+  /// Batch mode, asynchronous: enqueues the full Figure-1 pipeline on the
+  /// worker pool and returns immediately. The ticket id is the request_id
+  /// the finished BatchReport will carry.
+  Ticket<BatchReport> SubmitBatchAsync(BatchRequest request) const;
 
-  /// Sweep mode: every target x every named adpar backend at one W.
-  Result<SweepReport> RunSweep(const SweepRequest& request) const;
+  /// Sweep mode, asynchronous: every target x every named adpar backend at
+  /// one W, the cells themselves fanned out across the pool.
+  Ticket<SweepReport> RunSweepAsync(SweepRequest request) const;
+
+  /// Synchronous wrappers: SubmitBatchAsync(request).Wait() / the sweep
+  /// equivalent — same code path, same results, just blocking.
+  Result<BatchReport> SubmitBatch(BatchRequest request) const;
+  Result<SweepReport> RunSweep(SweepRequest request) const;
 
   /// Stream mode: opens an independent session; many sessions may run
   /// concurrently against one service.
@@ -99,7 +121,10 @@ class Service {
   const std::vector<core::StrategyProfile>& profiles() const;
 
   const ServiceConfig& config() const;
-  /// Snapshot of the lifetime counters.
+  /// Worker threads of the service executor (after resolving 0 to the
+  /// hardware concurrency).
+  size_t worker_threads() const;
+  /// Snapshot of the lifetime counters (folds the striped atomics).
   ServiceStats stats() const;
 
  private:
@@ -114,6 +139,7 @@ namespace stratrec {
 // The facade is the product: surface it at the top-level namespace.
 using api::Service;
 using api::StreamSession;
+using api::Ticket;
 }  // namespace stratrec
 
 #endif  // STRATREC_API_SERVICE_H_

@@ -1,0 +1,169 @@
+#include "src/common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace stratrec {
+
+namespace {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+/// Shared bookkeeping of one ParallelFor call. Chunks are claimed through
+/// one atomic cursor, so helpers and the caller never run the same range;
+/// the caller blocks on `done` until the last chunk reports in.
+struct ParallelForState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> aborted{false};
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t finished_chunks = 0;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none remain, then reports how many this
+  /// thread finished. A throwing chunk aborts the remaining ones (they are
+  /// claimed but skipped, so the caller's wait still completes) and the
+  /// first exception is rethrown from ParallelFor on the calling thread —
+  /// never from a pool worker, and never while `body` could dangle.
+  void RunChunks() {
+    size_t ran = 0;
+    for (size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+         chunk < num_chunks;
+         chunk = next_chunk.fetch_add(1, std::memory_order_relaxed)) {
+      if (!aborted.load(std::memory_order_relaxed)) {
+        const size_t begin = chunk * grain;
+        const size_t end = std::min(n, begin + grain);
+        try {
+          (*body)(begin, end);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error) error = std::current_exception();
+          }
+          aborted.store(true, std::memory_order_relaxed);
+        }
+      }
+      ++ran;
+    }
+    if (ran == 0) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    finished_chunks += ran;
+    if (finished_chunks == num_chunks) done.notify_all();
+  }
+};
+
+}  // namespace
+
+Executor::Executor(size_t threads) {
+  const size_t count = ResolveThreadCount(threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  // Destroying the pool from one of its own workers means a task released
+  // the last reference to the owning object (e.g. a ticket callback dropped
+  // the final Service handle). join() on self would throw from a destructor;
+  // fail loudly with the actual contract violation instead.
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) {
+      std::fprintf(stderr,
+                   "stratrec::Executor destroyed from one of its own workers "
+                   "(a pool task must not release the last reference to the "
+                   "object owning the pool)\n");
+      std::abort();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Workers exit only once the queue is empty, so nothing is left behind.
+}
+
+void Executor::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task) {
+    // Shutdown has begun: run inline so the work is never dropped.
+    task();
+    return;
+  }
+  wake_.notify_one();
+}
+
+size_t Executor::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Executor::ParallelFor(size_t n, size_t grain,
+                           const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) {
+    body(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  // One helper per worker beyond what the caller will cover; a helper that
+  // arrives after every chunk is claimed exits immediately, so over-asking
+  // is harmless.
+  const size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state]() { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&state]() {
+    return state->finished_chunks == state->num_chunks;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace stratrec

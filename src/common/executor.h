@@ -1,0 +1,78 @@
+// stratrec::Executor — the fixed worker pool behind the asynchronous
+// Service API and the parallel batch pipeline.
+//
+// One executor owns `threads()` worker threads draining a FIFO work queue.
+// Two entry points:
+//
+//   Submit()       enqueue one fire-and-forget task (the async Service
+//                  tickets ride on this),
+//   ParallelFor()  partition [0, n) into grain-sized chunks and run them on
+//                  the pool *and* the calling thread.
+//
+// ParallelFor's caller always participates in chunk execution: a task that
+// is itself running on a pool worker can fan out sub-work without risking
+// deadlock — even on a single-threaded pool the caller drains every chunk
+// itself. This is what lets WorkforceMatrix::Compute and RunSweep partition
+// across the same pool that runs their enclosing ticket.
+//
+// Destruction drains: the destructor stops accepting new work, runs every
+// task still queued, and joins the workers — so a pending Ticket is always
+// completed, never silently dropped. Submit() after shutdown has begun runs
+// the task inline on the calling thread for the same reason. An executor
+// must not be destroyed from one of its own workers (a task must not drop
+// the last reference to the object owning the pool).
+#ifndef STRATREC_COMMON_EXECUTOR_H_
+#define STRATREC_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stratrec {
+
+class Executor {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit Executor(size_t threads = 0);
+
+  /// Drains the queue (running every still-pending task) and joins.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues one task. Never blocks; tasks run in FIFO order across the
+  /// pool. `task` must be non-null.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(begin, end) over chunked sub-ranges of [0, n), each at most
+  /// `grain` wide (grain 0 is treated as 1). Blocks until every chunk has
+  /// finished. The calling thread executes chunks too, so this is safe to
+  /// call from inside a pool task. `body` must tolerate concurrent
+  /// invocation on disjoint ranges.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  size_t threads() const { return workers_.size(); }
+
+  /// Tasks waiting in the queue right now (excludes running ones).
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stratrec
+
+#endif  // STRATREC_COMMON_EXECUTOR_H_

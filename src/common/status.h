@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInfeasible,
+  kCancelled,
   kInternal,
 };
 
@@ -56,6 +57,10 @@ class Status {
   /// (e.g. k > |S| in ADPaR).
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  /// Work withdrawn before it ran (e.g. Ticket::Cancel on a queued job).
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -72,7 +72,8 @@ Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
     return Status::InvalidArgument("available workforce must be >= 0");
   }
   const WorkforceMatrix matrix =
-      WorkforceMatrix::Compute(requests, profiles, options.policy);
+      WorkforceMatrix::Compute(requests, profiles, options.policy,
+                               options.executor, options.parallel_grain);
 
   BatchResult result;
   auto items = PrepareItems(requests, matrix, options, &result.outcomes);

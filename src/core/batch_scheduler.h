@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/status.h"
 #include "src/core/deployment.h"
 #include "src/core/workforce.h"
@@ -26,6 +27,13 @@ struct BatchOptions {
   Objective objective = Objective::kThroughput;
   AggregationMode aggregation = AggregationMode::kSum;
   WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce;
+  /// When set, the embarrassingly-parallel stages (the m x |S| workforce
+  /// matrix, the per-request ADPaR fan-out) partition across this pool.
+  /// Null keeps every stage on the calling thread. Not owned; results are
+  /// bit-identical either way.
+  Executor* executor = nullptr;
+  /// Minimum work items per chunk when `executor` is set.
+  size_t parallel_grain = 4096;
 };
 
 /// Per-request outcome of a batch run.

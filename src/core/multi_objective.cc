@@ -24,7 +24,8 @@ Result<MultiObjectiveResult> SolveBatchWeighted(
   }
 
   const WorkforceMatrix matrix =
-      WorkforceMatrix::Compute(requests, profiles, options.policy);
+      WorkforceMatrix::Compute(requests, profiles, options.policy,
+                               options.executor, options.parallel_grain);
 
   MultiObjectiveResult result;
   result.batch.outcomes.resize(requests.size());

@@ -43,16 +43,34 @@ Result<StratRecReport> StratRec::ProcessBatchAtAvailability(
           : [](const std::vector<ParamVector>& params, const ParamVector& d,
                int k) { return AdparExact(params, d, k, nullptr); };
 
-  // Unsatisfied requests are forwarded to ADPaR one by one (Section 2.2),
-  // against the concrete strategy parameters estimated at W.
-  for (size_t index : out.aggregator.batch.unsatisfied) {
-    auto alternative = adpar(out.aggregator.strategy_params,
-                             requests[index].thresholds, requests[index].k);
-    if (alternative.ok()) {
+  // Unsatisfied requests are forwarded to ADPaR (Section 2.2), against the
+  // concrete strategy parameters estimated at W. Each solve is independent,
+  // so with an executor the fan-out partitions across the pool; solutions
+  // land in a per-request slot and are folded back in request order, keeping
+  // the report identical to the serial path.
+  const std::vector<size_t>& unsatisfied = out.aggregator.batch.unsatisfied;
+  std::vector<Result<AdparResult>> solved(
+      unsatisfied.size(), Result<AdparResult>(Status::Internal("unset")));
+  auto solve = [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const size_t index = unsatisfied[u];
+      solved[u] = adpar(out.aggregator.strategy_params,
+                        requests[index].thresholds, requests[index].k);
+    }
+  };
+  if (options.batch.executor != nullptr) {
+    // ADPaR solves are orders of magnitude heavier than a matrix cell; use
+    // a one-request grain so every solve can run on its own worker.
+    options.batch.executor->ParallelFor(unsatisfied.size(), 1, solve);
+  } else {
+    solve(0, unsatisfied.size());
+  }
+  for (size_t u = 0; u < unsatisfied.size(); ++u) {
+    if (solved[u].ok()) {
       out.alternatives.push_back(
-          AlternativeRecommendation{index, std::move(*alternative)});
+          AlternativeRecommendation{unsatisfied[u], std::move(*solved[u])});
     } else {
-      out.adpar_failures.push_back(index);
+      out.adpar_failures.push_back(unsatisfied[u]);
     }
   }
   return out;

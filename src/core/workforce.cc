@@ -91,13 +91,21 @@ WorkforceCell ComputeWorkforceCell(const StrategyProfile& profile,
 
 WorkforceMatrix WorkforceMatrix::Compute(
     const std::vector<DeploymentRequest>& requests,
-    const std::vector<StrategyProfile>& profiles, WorkforcePolicy policy) {
+    const std::vector<StrategyProfile>& profiles, WorkforcePolicy policy,
+    Executor* executor, size_t grain) {
   WorkforceMatrix matrix(requests.size(), profiles.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    for (size_t j = 0; j < profiles.size(); ++j) {
-      matrix.cells_[i * matrix.cols_ + j] =
-          ComputeWorkforceCell(profiles[j], requests[i].thresholds, policy);
+  const size_t cols = matrix.cols_;
+  auto fill = [&](size_t begin, size_t end) {
+    for (size_t cell = begin; cell < end; ++cell) {
+      matrix.cells_[cell] = ComputeWorkforceCell(
+          profiles[cell % cols], requests[cell / cols].thresholds, policy);
     }
+  };
+  const size_t total = matrix.rows_ * cols;
+  if (executor != nullptr) {
+    executor->ParallelFor(total, grain, fill);
+  } else {
+    fill(0, total);
   }
   return matrix;
 }

@@ -12,6 +12,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/status.h"
 #include "src/core/deployment.h"
 #include "src/core/linear_model.h"
@@ -65,10 +66,16 @@ class WorkforceMatrix {
  public:
   /// Builds the matrix for all (request, profile) pairs.
   /// `profiles[j]` models strategy j for this task type.
+  ///
+  /// Cells are independent, so when `executor` is non-null the cell range is
+  /// partitioned across it in `grain`-sized chunks (each cell is written by
+  /// exactly one chunk; the result is bit-identical to the serial path).
+  /// Null `executor` keeps the computation on the calling thread.
   static WorkforceMatrix Compute(
       const std::vector<DeploymentRequest>& requests,
       const std::vector<StrategyProfile>& profiles,
-      WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce);
+      WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce,
+      Executor* executor = nullptr, size_t grain = 4096);
 
   size_t num_requests() const { return rows_; }
   size_t num_strategies() const { return cols_; }

@@ -52,6 +52,15 @@ TEST(ServiceCreate, ValidatesCatalogAndConfig) {
   bad_availability.availability = AvailabilitySpec::Fixed(1.5);
   EXPECT_FALSE(Service::Create(Table1Catalog(), bad_availability).ok());
 
+  ServiceConfig bad_grain;
+  bad_grain.execution.parallel_grain = 0;
+  EXPECT_EQ(Service::Create(Table1Catalog(), bad_grain).status().code(),
+            StatusCode::kInvalidArgument);
+  ServiceConfig absurd_pool;
+  absurd_pool.execution.worker_threads = 100'000;
+  EXPECT_EQ(Service::Create(Table1Catalog(), absurd_pool).status().code(),
+            StatusCode::kInvalidArgument);
+
   EXPECT_TRUE(Service::Create(Table1Catalog()).ok());
 }
 
@@ -166,6 +175,40 @@ TEST(ServiceRegistry, CustomBackendPlugsInWithoutCallerChanges) {
   EXPECT_EQ(report->result.alternatives.size() +
                 report->result.adpar_failures.size(),
             batch.requests.size());
+}
+
+TEST(ServiceRegistry, WeightedBackendSelectableByName) {
+  // SolveBatchWeighted is reachable through the facade: the built-in
+  // "weighted" entry, and custom weight mixes via MakeWeightedBatchSolver.
+  auto service = Service::Create(Table1Catalog());
+  ASSERT_TRUE(service.ok());
+  BatchRequest batch;
+  batch.requests = Table1Requests();
+  batch.availability = AvailabilitySpec::Fixed(0.8);
+  batch.aggregation = core::AggregationMode::kMax;
+  batch.algorithm = "weighted";
+  auto report = service->SubmitBatch(batch);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->algorithm, "weighted");
+  // Default weights are throughput-only: same selection as batchstrat.
+  EXPECT_EQ(report->result.aggregator.batch.satisfied,
+            std::vector<size_t>{2});
+
+  core::ObjectiveWeights worker_centric;
+  worker_centric.throughput = 1.0;
+  worker_centric.effort = 0.5;
+  ASSERT_TRUE(AlgorithmRegistry::Global()
+                  .RegisterBatch("test-worker-centric",
+                                 MakeWeightedBatchSolver(worker_centric))
+                  .ok());
+  batch.algorithm = "test-worker-centric";
+  auto weighted = service->SubmitBatch(batch);
+  ASSERT_TRUE(weighted.ok()) << weighted.status().ToString();
+  EXPECT_EQ(weighted->algorithm, "test-worker-centric");
+  // The effort penalty never *adds* served requests at equal workforce.
+  EXPECT_LE(weighted->result.aggregator.batch.satisfied.size(),
+            report->result.aggregator.batch.satisfied.size() +
+                report->result.alternatives.size());
 }
 
 TEST(ServiceAvailability, NamedModelsResolvePerCall) {
