@@ -65,6 +65,10 @@ int main() {
   config.batch.objective = core::Objective::kPayoff;
   config.batch.aggregation = core::AggregationMode::kMax;
   config.execution.worker_threads = 4;
+  // Record this session: the journal carries the config, the fitted
+  // catalog, and every (request, report) pair, so bench_replay_load can
+  // rebuild the service and reproduce the reports bit for bit.
+  config.journal.path = "platform_simulation.journal";
   auto service = stratrec::Service::Create(std::move(*catalog), config);
   if (!service.ok()) {
     std::fprintf(stderr, "service setup failed: %s\n",
@@ -226,7 +230,13 @@ int main() {
   }
 
   const api::ServiceStats stats = service->stats();
-  std::printf("\nService lifetime: %zu batches, %zu requests processed.\n",
-              stats.batches, stats.requests_processed);
+  std::printf("\nService lifetime: %zu batches, %zu requests processed "
+              "(executor: %zu queued, %zu active).\n",
+              stats.batches, stats.requests_processed, stats.queue_depth,
+              stats.active_workers);
+  std::printf(
+      "Trace recorded to %s — replay it with:\n"
+      "  ./build/bench/bench_replay_load %s\n",
+      config.journal.path.c_str(), config.journal.path.c_str());
   return 0;
 }

@@ -37,6 +37,8 @@ struct AvailabilitySpec {
   static AvailabilitySpec FromPmf(std::vector<stats::PmfAtom> atoms);
   static AvailabilitySpec FromSamples(std::vector<double> samples);
   static AvailabilitySpec Named(std::string name);
+
+  bool operator==(const AvailabilitySpec&) const = default;
 };
 
 /// Resolves `spec` to an expected availability W. `models` holds the

@@ -28,6 +28,8 @@ struct BatchDefaults {
   /// Forward unsatisfied requests to the adpar solver (Figure 1's ADPaR leg).
   bool recommend_alternatives = true;
   std::string adpar_solver = "exact";
+
+  bool operator==(const BatchDefaults&) const = default;
 };
 
 /// Defaults for stream sessions (OpenStream).
@@ -37,6 +39,8 @@ struct StreamDefaults {
   size_t max_pending = 64;
   /// Drain the pending queue greedily whenever capacity frees up.
   bool readmit_on_release = true;
+
+  bool operator==(const StreamDefaults&) const = default;
 };
 
 /// Sizing of the service executor (the worker pool every SubmitBatchAsync /
@@ -52,6 +56,34 @@ struct ExecutionConfig {
   /// heavier than a matrix cell — so those always fan out one job per item,
   /// independent of this knob.
   size_t parallel_grain = 4096;
+
+  bool operator==(const ExecutionConfig&) const = default;
+};
+
+/// Record/replay journal of the service (src/common/journal.h). When
+/// enabled, the service appends one line-delimited JSON record per finished
+/// batch/sweep job — the (request, outcome) pair in wire-codec form — plus
+/// a config and a catalog record at startup, so a trace is self-contained:
+/// bench_replay_load can rebuild an identical service from the file alone.
+/// Records are encoded on the worker that finished the job and appended
+/// under the journal's own short file lock; no service-wide mutex exists,
+/// let alone is held, on this path.
+struct JournalConfig {
+  /// Journal file path; empty (the default) disables recording. The file is
+  /// truncated at Service::Create.
+  std::string path;
+  /// Record tickets withdrawn via Cancel() as pairs with a kCancelled
+  /// outcome (replay reports them as skipped — a cancellation race is not
+  /// reproducible, the completed work is). The record is appended when a
+  /// worker dequeues the withdrawn task, at the latest during the drain on
+  /// Service destruction — not at the Cancel() call itself.
+  bool record_cancelled = true;
+  /// fflush() after every record, so a completed pair is in the trace by
+  /// the time its ticket is retrievable. Disable for maximum-rate recording
+  /// where losing the tail on a crash is acceptable.
+  bool flush_every_record = true;
+
+  bool operator==(const JournalConfig&) const = default;
 };
 
 /// The one config a platform hands to Service::Create.
@@ -59,8 +91,11 @@ struct ServiceConfig {
   BatchDefaults batch;
   StreamDefaults stream;
   ExecutionConfig execution;
+  JournalConfig journal;
   /// Used whenever a request's availability spec is kDefault.
   AvailabilitySpec availability = AvailabilitySpec::Fixed(0.5);
+
+  bool operator==(const ServiceConfig&) const = default;
 };
 
 /// Checks the config against the global registry (algorithm names resolve)

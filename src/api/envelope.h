@@ -1,12 +1,21 @@
 // Uniform request / report envelopes of the Service API.
 //
 // Every entry point takes one value-type request and returns one value-type
-// report stamped with a service-assigned, stable request id ("batch-000007",
-// "sweep-000012", "stream-000003"); ids share one counter per service, so a
-// report is attributable across modes. Failures travel through the Status /
-// Result taxonomy of src/common/status.h — kInvalidArgument for malformed
-// envelopes, kNotFound for unknown registry or model names, kInfeasible for
-// well-formed problems without a solution.
+// report stamped with a stable request id. By default ids are
+// service-assigned ("batch-000007", "sweep-000012", "stream-000003") from
+// one counter per service, so a report is attributable across modes; a
+// request may instead carry its own `request_id`, which the service adopts
+// verbatim — the hook out-of-process front ends (and the replay harness,
+// which must reproduce recorded ids) use to control attribution. Failures
+// travel through the Status / Result taxonomy of src/common/status.h —
+// kInvalidArgument for malformed envelopes, kNotFound for unknown registry
+// or model names, kInfeasible for well-formed problems without a solution.
+//
+// Envelopes are serialization-ready value types: every struct here is
+// deep-comparable (operator==) and round-trips through the stratrec::wire
+// codec (src/api/codec.h) to line-delimited JSON with stable field names —
+// the journal format of src/common/journal.h and the wire format a future
+// gRPC/HTTP front end shares.
 #ifndef STRATREC_API_ENVELOPE_H_
 #define STRATREC_API_ENVELOPE_H_
 
@@ -35,15 +44,23 @@ struct BatchRequest {
   std::optional<core::WorkforcePolicy> policy;
   std::optional<bool> recommend_alternatives;
   std::optional<std::string> adpar_solver;
+  /// Caller-assigned report id; empty (the default) means service-assigned.
+  /// Uniqueness is the caller's responsibility. Declared last so aggregate
+  /// initialization of the workload fields stays source-compatible.
+  std::string request_id;
+
+  bool operator==(const BatchRequest&) const = default;
 };
 
 /// Outcome of one SubmitBatch call.
 struct BatchReport {
-  std::string request_id;  ///< service-assigned, stable
+  std::string request_id;  ///< stable; caller- or service-assigned
   std::string algorithm;   ///< resolved backend name
   double availability = 0.0;  ///< resolved expected W
   /// Figure-1 pipeline output: aggregator stage, batch outcome, alternatives.
   core::StratRecReport result;
+
+  bool operator==(const BatchReport&) const = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -61,6 +78,11 @@ struct SweepRequest {
   /// Registry names; empty -> the service's default adpar solver.
   std::vector<std::string> solvers;
   AvailabilitySpec availability;  ///< kDefault -> service config
+  /// Caller-assigned report id; empty (the default) means service-assigned.
+  /// Declared last: see BatchRequest::request_id.
+  std::string request_id;
+
+  bool operator==(const SweepRequest&) const = default;
 };
 
 /// One (target, solver) cell of a sweep.
@@ -71,6 +93,8 @@ struct SweepOutcome {
   /// cell rather than failing the whole sweep.
   Status status;
   core::AdparResult result;  ///< valid iff status.ok()
+
+  bool operator==(const SweepOutcome&) const = default;
 };
 
 /// Outcome of one RunSweep call: |targets| x |solvers| cells.
@@ -81,6 +105,8 @@ struct SweepReport {
   /// searched, index-aligned with the service catalog.
   std::vector<core::ParamVector> strategy_params;
   std::vector<SweepOutcome> outcomes;
+
+  bool operator==(const SweepReport&) const = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -96,6 +122,8 @@ struct StreamOptions {
   std::optional<core::Objective> objective;
   std::optional<core::AggregationMode> aggregation;
   std::optional<core::WorkforcePolicy> policy;
+
+  bool operator==(const StreamOptions&) const = default;
 };
 
 /// One event of a stream session — the Section 7 open problem's vocabulary:
@@ -116,6 +144,8 @@ struct StreamEvent {
   static StreamEvent Revocation(std::string request_id);
   static StreamEvent Completion(std::string request_id);
   static StreamEvent AvailabilityChange(AvailabilitySpec availability);
+
+  bool operator==(const StreamEvent&) const = default;
 };
 
 /// "arrival", "revocation", "completion", "availability-change".
@@ -154,6 +184,13 @@ struct ServiceStats {
   size_t requests_processed = 0;
   /// Async tickets withdrawn via Cancel() before a worker claimed them.
   size_t cancelled = 0;
+  /// Instantaneous executor gauges (not lifetime counters), sampled at
+  /// stats() time: tasks waiting in the pool queue and workers currently
+  /// running a task. The raw accessors live on stratrec::Executor
+  /// (QueueDepth / ActiveWorkers); they are surfaced here so load shedding
+  /// and the work-stealing roadmap item have service-level data.
+  size_t queue_depth = 0;
+  size_t active_workers = 0;
 };
 
 }  // namespace stratrec::api

@@ -1,0 +1,134 @@
+#include "src/api/replay.h"
+
+#include <chrono>
+#include <utility>
+
+namespace stratrec::wire {
+
+namespace {
+
+/// A named availability spec resolves against models registered on the live
+/// service — which are not part of the trace. The recorded report captured
+/// the resolved W, so replay pins it as a fixed spec (byte-identical: the
+/// codec round-trips doubles exactly). Also applies to kDefault when the
+/// recorded config's default is itself named.
+void PinNamedAvailability(const JournalTrace& trace,
+                          api::AvailabilitySpec* spec, double recorded_w) {
+  using Kind = api::AvailabilitySpec::Kind;
+  const bool named_default =
+      trace.has_config &&
+      trace.config.availability.kind == Kind::kNamed;
+  if (spec->kind == Kind::kNamed ||
+      (spec->kind == Kind::kDefault && named_default)) {
+    *spec = api::AvailabilitySpec::Fixed(recorded_w);
+  }
+}
+
+std::string RoundId(const std::string& request_id, size_t round) {
+  return round == 0 ? request_id
+                    : request_id + "#" + std::to_string(round);
+}
+
+}  // namespace
+
+Result<api::Service> ServiceFromTrace(const JournalTrace& trace,
+                                      size_t worker_threads) {
+  if (!trace.has_config) {
+    return Status::FailedPrecondition("trace has no config record");
+  }
+  if (!trace.has_catalog) {
+    return Status::FailedPrecondition("trace has no catalog record");
+  }
+  api::ServiceConfig config = trace.config;
+  config.journal = api::JournalConfig{};  // replay must not re-record
+  if (worker_threads > 0) config.execution.worker_threads = worker_threads;
+  return api::Service::Create(trace.catalog, std::move(config));
+}
+
+Result<ReplayResult> ReplayTrace(const JournalTrace& trace,
+                                 const ReplayOptions& options) {
+  auto service = ServiceFromTrace(trace, options.worker_threads);
+  if (!service.ok()) return service.status();
+
+  ReplayResult result;
+
+  /// One in-flight replayed pair: the ticket and the line its report must
+  /// reproduce (the recorded report re-encoded with the round-suffixed id,
+  /// so round copies compare cleanly).
+  struct PendingBatch {
+    api::Ticket<api::BatchReport> ticket;
+    std::string expected;
+  };
+  struct PendingSweep {
+    api::Ticket<api::SweepReport> ticket;
+    std::string expected;
+  };
+  std::vector<PendingBatch> batches;
+  std::vector<PendingSweep> sweeps;
+
+  const size_t rounds = options.rounds == 0 ? 1 : options.rounds;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t round = 0; round < rounds; ++round) {
+    for (const PairRecord& pair : trace.pairs) {
+      if (!pair.status.ok()) {
+        // Cancelled or failed on record: nothing completed to reproduce.
+        if (round == 0) ++result.skipped;
+        continue;
+      }
+      ++result.replayed;
+      const std::string id = RoundId(pair.request_id, round);
+      if (pair.kind == PairRecord::Kind::kBatch) {
+        api::BatchRequest request = pair.batch_request;
+        request.request_id = id;
+        PinNamedAvailability(trace, &request.availability,
+                             pair.batch_report.availability);
+        result.work_items += request.requests.size();
+        api::BatchReport expected = pair.batch_report;
+        expected.request_id = id;
+        batches.push_back({service->SubmitBatchAsync(std::move(request)),
+                           json::Dump(Encode(expected))});
+      } else {
+        api::SweepRequest request = pair.sweep_request;
+        request.request_id = id;
+        PinNamedAvailability(trace, &request.availability,
+                             pair.sweep_report.availability);
+        result.work_items += pair.sweep_report.outcomes.size();
+        api::SweepReport expected = pair.sweep_report;
+        expected.request_id = id;
+        sweeps.push_back({service->RunSweepAsync(std::move(request)),
+                          json::Dump(Encode(expected))});
+      }
+    }
+  }
+
+  for (PendingBatch& pending : batches) {
+    auto report = pending.ticket.Wait();
+    if (!report.ok()) {
+      return Status::Internal("replayed batch " + pending.ticket.id() +
+                              " failed: " + report.status().ToString());
+    }
+    if (json::Dump(Encode(*report)) == pending.expected) {
+      ++result.matched;
+    } else {
+      result.mismatched.push_back(pending.ticket.id());
+    }
+  }
+  for (PendingSweep& pending : sweeps) {
+    auto report = pending.ticket.Wait();
+    if (!report.ok()) {
+      return Status::Internal("replayed sweep " + pending.ticket.id() +
+                              " failed: " + report.status().ToString());
+    }
+    if (json::Dump(Encode(*report)) == pending.expected) {
+      ++result.matched;
+    } else {
+      result.mismatched.push_back(pending.ticket.id());
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.seconds = elapsed.count();
+  return result;
+}
+
+}  // namespace stratrec::wire

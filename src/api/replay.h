@@ -1,0 +1,75 @@
+// Trace replay: drive a fresh Service with a recorded journal and check
+// that it reproduces the recorded reports bit for bit.
+//
+// A journal written via ServiceConfig::journal is self-contained — it
+// carries the config and the strategy catalog ahead of the (request,
+// outcome) pairs — so replay needs nothing but the file:
+//
+//   auto trace = wire::ReadTraceFile("trace.journal");
+//   auto result = wire::ReplayTrace(*trace, options);
+//   // result->matched == result->replayed  <=>  deterministic replay
+//
+// Replay resubmits every successfully-completed pair through
+// SubmitBatchAsync / RunSweepAsync with the recorded request id pinned on
+// the envelope (the caller-id hook of envelope.h), at whatever pool size
+// ReplayOptions picks — the pipeline is deterministic by construction, so
+// the reports must be byte-identical to the recorded ones under any
+// concurrency. Pairs that did not complete (cancelled tickets, error
+// outcomes) are counted as skipped: a cancellation race is not
+// reproducible work. Requests whose availability came from a named model
+// (registered on the live service, not part of the trace) are replayed at
+// the resolved W the recorded report captured.
+#ifndef STRATREC_API_REPLAY_H_
+#define STRATREC_API_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/api/codec.h"
+#include "src/api/service.h"
+
+namespace stratrec::wire {
+
+struct ReplayOptions {
+  /// Worker threads of the replaying service; 0 keeps the recorded
+  /// ExecutionConfig value.
+  size_t worker_threads = 0;
+  /// Submit this many copies of the pair list (ids suffixed "#<round>" past
+  /// round 0, so tickets stay distinguishable). Rounds > 1 measure
+  /// throughput on small traces; every copy is still verified.
+  size_t rounds = 1;
+};
+
+struct ReplayResult {
+  size_t replayed = 0;  ///< pairs resubmitted (across all rounds)
+  size_t matched = 0;   ///< replayed pairs whose report was byte-identical
+  size_t skipped = 0;   ///< recorded pairs not replayed (cancelled / error)
+  /// Deployment requests inside replayed batch pairs plus sweep cells
+  /// solved — the unit bench_replay_load reports throughput in.
+  size_t work_items = 0;
+  /// Wall clock of the submit + wait phase (service construction and trace
+  /// decoding excluded).
+  double seconds = 0.0;
+  /// request_ids (round-suffixed) whose replayed report differed.
+  std::vector<std::string> mismatched;
+
+  bool ok() const { return mismatched.empty(); }
+};
+
+/// Rebuilds the recorded service: recorded config (journaling stripped so
+/// replay does not overwrite the trace being replayed) + recorded catalog.
+/// Fails with kFailedPrecondition when the trace lacks either record.
+Result<api::Service> ServiceFromTrace(const JournalTrace& trace,
+                                      size_t worker_threads = 0);
+
+/// Replays `trace` through a fresh service and verifies byte-identical
+/// reports. Fails only on infrastructure errors (unbuildable service, a
+/// replayed ticket failing where the recording succeeded); mismatches are
+/// reported in the result, not as a Status.
+Result<ReplayResult> ReplayTrace(const JournalTrace& trace,
+                                 const ReplayOptions& options = {});
+
+}  // namespace stratrec::wire
+
+#endif  // STRATREC_API_REPLAY_H_

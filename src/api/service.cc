@@ -10,8 +10,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/api/codec.h"
 #include "src/api/registry.h"
 #include "src/common/executor.h"
+#include "src/common/journal.h"
+#include "src/common/logging.h"
 
 namespace stratrec::api {
 
@@ -74,16 +77,33 @@ struct ServiceState {
   std::unordered_map<std::string, core::AvailabilityModel> models;
   StripedStats stats;
 
+  /// Record/replay tap (null when JournalConfig::path is empty). Workers
+  /// encode their own records and append under the writer's short file
+  /// lock; declared before `executor` so it outlives the queue drain.
+  std::shared_ptr<JournalWriter> journal;
+
   /// The worker pool every async ticket runs on and the pipeline stages
   /// partition across. Declared last on purpose: it is destroyed first, and
   /// its destructor drains still-queued tickets while the rest of this
   /// state is alive.
   Executor executor;
 
-  ServiceState(ServiceConfig config_in, core::StratRec stratrec_in)
+  ServiceState(ServiceConfig config_in, core::StratRec stratrec_in,
+               std::shared_ptr<JournalWriter> journal_in)
       : config(std::move(config_in)),
         stratrec(std::move(stratrec_in)),
+        journal(std::move(journal_in)),
         executor(config.execution.worker_threads) {}
+
+  /// Appends one already-encoded record, demoting I/O failures to an error
+  /// log: a full disk must not fail the request whose work succeeded.
+  void Record(const std::string& line) const {
+    const Status appended = journal->Append(line);
+    if (!appended.ok()) {
+      LogMessage(LogLevel::kError,
+                 "journal record dropped: " + appended.ToString());
+    }
+  }
 
   const std::vector<core::StrategyProfile>& profiles() const {
     return stratrec.aggregator().profiles();
@@ -254,10 +274,25 @@ Result<SweepReport> ExecuteSweep(ServiceState* state,
 
 Result<Service> Service::Create(core::Catalog catalog, ServiceConfig config) {
   STRATREC_RETURN_NOT_OK(ValidateConfig(config));
+
+  // Journal taps: open the file and persist the config + catalog records up
+  // front, so even a trace with zero pairs is replayable (the trace alone
+  // reconstructs an identical service).
+  std::shared_ptr<JournalWriter> journal;
+  if (!config.journal.path.empty()) {
+    auto writer = JournalWriter::Open(config.journal.path,
+                                      config.journal.flush_every_record);
+    if (!writer.ok()) return writer.status();
+    journal = std::move(*writer);
+    STRATREC_RETURN_NOT_OK(journal->Append(wire::EncodeConfigRecord(config)));
+    STRATREC_RETURN_NOT_OK(
+        journal->Append(wire::EncodeCatalogRecord(catalog)));
+  }
+
   auto stratrec = core::StratRec::Create(std::move(catalog));
   if (!stratrec.ok()) return stratrec.status();
   return Service(std::make_shared<internal::ServiceState>(
-      std::move(config), std::move(*stratrec)));
+      std::move(config), std::move(*stratrec), std::move(journal)));
 }
 
 Result<Service> Service::Create(std::vector<core::Strategy> strategies,
@@ -270,36 +305,60 @@ Result<Service> Service::Create(std::vector<core::Strategy> strategies,
 
 Ticket<BatchReport> Service::SubmitBatchAsync(BatchRequest request) const {
   auto shared = std::make_shared<internal::TicketShared<BatchReport>>(
-      state_->NextId("batch"));
+      request.request_id.empty() ? state_->NextId("batch")
+                                 : request.request_id);
   internal::ServiceState* state = state_.get();
   state_->executor.Submit(
       [state, shared, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->stats.Local().cancelled.fetch_add(1,
                                                    std::memory_order_relaxed);
+          if (state->journal && state->config.journal.record_cancelled) {
+            state->Record(wire::EncodeBatchRecord(
+                shared->id, request,
+                Status::Cancelled("ticket " + shared->id +
+                                  " cancelled before execution")));
+          }
           return;
         }
-        shared->Finish(internal::GuardJob([&]() {
+        auto outcome = internal::GuardJob([&]() {
           return internal::ExecuteBatch(state, request, shared->id);
-        }));
+        });
+        // Tap before Finish: once the ticket is retrievable, its pair is in
+        // the journal. Encoding runs here on the worker, lock-free.
+        if (state->journal) {
+          state->Record(wire::EncodeBatchRecord(shared->id, request, outcome));
+        }
+        shared->Finish(std::move(outcome));
       });
   return Ticket<BatchReport>(std::move(shared));
 }
 
 Ticket<SweepReport> Service::RunSweepAsync(SweepRequest request) const {
   auto shared = std::make_shared<internal::TicketShared<SweepReport>>(
-      state_->NextId("sweep"));
+      request.request_id.empty() ? state_->NextId("sweep")
+                                 : request.request_id);
   internal::ServiceState* state = state_.get();
   state_->executor.Submit(
       [state, shared, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->stats.Local().cancelled.fetch_add(1,
                                                    std::memory_order_relaxed);
+          if (state->journal && state->config.journal.record_cancelled) {
+            state->Record(wire::EncodeSweepRecord(
+                shared->id, request,
+                Status::Cancelled("ticket " + shared->id +
+                                  " cancelled before execution")));
+          }
           return;
         }
-        shared->Finish(internal::GuardJob([&]() {
+        auto outcome = internal::GuardJob([&]() {
           return internal::ExecuteSweep(state, request, shared->id);
-        }));
+        });
+        if (state->journal) {
+          state->Record(wire::EncodeSweepRecord(shared->id, request, outcome));
+        }
+        shared->Finish(std::move(outcome));
       });
   return Ticket<SweepReport>(std::move(shared));
 }
@@ -362,7 +421,12 @@ const ServiceConfig& Service::config() const { return state_->config; }
 
 size_t Service::worker_threads() const { return state_->executor.threads(); }
 
-ServiceStats Service::stats() const { return state_->stats.Snapshot(); }
+ServiceStats Service::stats() const {
+  ServiceStats out = state_->stats.Snapshot();
+  out.queue_depth = state_->executor.QueueDepth();
+  out.active_workers = state_->executor.ActiveWorkers();
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // StreamSession

@@ -19,6 +19,14 @@
 // parallel: the workforce matrix and the sweep cross-product partition
 // across the same pool.
 //
+// With ServiceConfig::journal configured, the service records itself: a
+// config + catalog record at Create, then one wire-codec line per finished
+// async job — the (request, outcome) pair, cancelled tickets included — so
+// the resulting trace is self-contained and bench_replay_load can rebuild
+// an identical service and assert bit-identical reports. Records are
+// encoded on the worker that ran the job; the only lock on that path is
+// the journal's own append mutex (around one fwrite), never service state.
+//
 // The Service is a value-semantic handle over shared state (the SimGrid
 // facade idiom): copies address the same service, every method is safe to
 // call from many threads, and stream sessions keep the service alive.

@@ -130,7 +130,9 @@ void Executor::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
     task();
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

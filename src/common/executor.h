@@ -24,6 +24,7 @@
 #ifndef STRATREC_COMMON_EXECUTOR_H_
 #define STRATREC_COMMON_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -63,6 +64,18 @@ class Executor {
   /// Tasks waiting in the queue right now (excludes running ones).
   size_t queued() const;
 
+  /// Observability gauges (instantaneous, racy by nature — fine for
+  /// monitoring, not for synchronization). QueueDepth is `queued()` under
+  /// its service-facing name; ActiveWorkers counts pool workers currently
+  /// inside a task (helpers running ParallelFor chunks count, the
+  /// participating caller thread does not). Together they say whether the
+  /// pool is saturated (active == threads, depth growing) or idle — the
+  /// data the work-stealing roadmap item needs.
+  size_t QueueDepth() const { return queued(); }
+  size_t ActiveWorkers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -70,6 +83,7 @@ class Executor {
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  std::atomic<size_t> active_workers_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,126 @@
+#include "src/common/journal.h"
+
+#include <utility>
+
+#include "src/common/json.h"
+
+namespace stratrec {
+
+namespace {
+
+std::string HeaderLine() {
+  json::Value header = json::Value::Object();
+  header.Add("format", std::string(kJournalFormatName));
+  header.Add("version", kJournalFormatVersion);
+  return json::Dump(header);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<JournalWriter>> JournalWriter::Open(
+    std::string path, bool flush_every_record) {
+  if (path.empty()) {
+    return Status::InvalidArgument("journal path is empty");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create journal file '" + path + "'");
+  }
+  // Not make_shared: the constructor is private.
+  std::shared_ptr<JournalWriter> writer(
+      new JournalWriter(std::move(path), file, flush_every_record));
+  const std::string header = HeaderLine();
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
+    return Status::Internal("cannot write journal header to '" +
+                            writer->path() + "'");
+  }
+  return writer;
+}
+
+JournalWriter::~JournalWriter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+Status JournalWriter::Append(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    return Status::Internal("journal append to '" + path_ + "' failed");
+  }
+  if (flush_ && std::fflush(file_) != 0) {
+    return Status::Internal("journal flush of '" + path_ + "' failed");
+  }
+  ++records_;
+  return Status::OK();
+}
+
+size_t JournalWriter::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+Result<std::vector<std::string>> JournalReader::ReadRecords(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("journal file '" + path + "' does not exist");
+  }
+
+  std::string content;
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::Internal("error reading journal file '" + path + "'");
+  }
+
+  // Split into complete ('\n'-terminated) lines; a crash-truncated tail
+  // (no terminator) is dropped.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = content.find('\n'); i != std::string::npos;
+       start = i + 1, i = content.find('\n', start)) {
+    if (i > start) lines.emplace_back(content, start, i - start);
+  }
+
+  if (lines.empty()) {
+    return Status::InvalidArgument("journal file '" + path +
+                                   "' has no header line");
+  }
+  auto header = json::Parse(lines.front());
+  if (!header.ok() || !header->is_object()) {
+    return Status::InvalidArgument("journal file '" + path +
+                                   "' has a malformed header line");
+  }
+  const json::Value* format = header->Find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->AsString() != kJournalFormatName) {
+    return Status::InvalidArgument("'" + path + "' is not a " +
+                                   std::string(kJournalFormatName) + " file");
+  }
+  const json::Value* version = header->Find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsNumber() != kJournalFormatVersion) {
+    return Status::InvalidArgument(
+        "journal file '" + path + "' has unsupported format version " +
+        (version != nullptr && version->is_number()
+             ? json::FormatNumber(version->AsNumber())
+             : "?") +
+        " (this build reads version " +
+        std::to_string(kJournalFormatVersion) + ")");
+  }
+  lines.erase(lines.begin());
+  return lines;
+}
+
+}  // namespace stratrec

@@ -1,0 +1,87 @@
+// Append-only line journal: the persistence substrate of record/replay.
+//
+// A journal file is line-delimited text. The first line is a format-version
+// header ({"format":"stratrec-journal","version":1}); every following line
+// is one self-describing record — the api-layer wire codec (src/api/codec.h)
+// decides what a record contains, this layer only guarantees atomic,
+// ordered, durable-ish appends:
+//
+//   * Append() is thread-safe; the internal mutex covers only the write of
+//     an already-encoded line, so encoding happens outside any lock and the
+//     Service hot path never serializes on anything wider than the fwrite,
+//   * records are written whole lines at a time, so a reader never sees a
+//     torn record (at worst a truncated tail after a crash, which
+//     JournalReader tolerates when asked to),
+//   * with flush-every-record (the default), a record is on its way to the
+//     OS before Append returns — a *completed* pair is in the trace by the
+//     time its ticket is retrievable. (A cancelled ticket's record is
+//     appended when a worker eventually dequeues the withdrawn task — at
+//     the latest during the Service drain on destruction — so Cancel()
+//     returning is not yet a durability point.)
+#ifndef STRATREC_COMMON_JOURNAL_H_
+#define STRATREC_COMMON_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec {
+
+/// Format name carried by the header line of every journal file.
+inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
+/// Version written by this build; readers reject other versions.
+inline constexpr int kJournalFormatVersion = 1;
+
+/// Thread-safe writer. Create via Open; the file is truncated and the
+/// header line written immediately, so even an empty trace is well-formed.
+class JournalWriter {
+ public:
+  /// Fails with kInternal when the file cannot be created.
+  static Result<std::shared_ptr<JournalWriter>> Open(
+      std::string path, bool flush_every_record = true);
+
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one record (the trailing '\n' is added here). `line` must not
+  /// itself contain '\n' — records are single lines by construction
+  /// (json::Dump output). Fails with kInternal on I/O errors.
+  Status Append(std::string_view line);
+
+  const std::string& path() const { return path_; }
+
+  /// Records appended so far (excludes the header line).
+  size_t records_written() const;
+
+ private:
+  JournalWriter(std::string path, std::FILE* file, bool flush_every_record)
+      : path_(std::move(path)), file_(file), flush_(flush_every_record) {}
+
+  const std::string path_;
+  mutable std::mutex mutex_;  ///< guards file_ and records_
+  std::FILE* file_ = nullptr;
+  const bool flush_;
+  size_t records_ = 0;
+};
+
+/// Reads a journal back: validates the header line, returns the record
+/// lines in file order. Blank lines are skipped.
+class JournalReader {
+ public:
+  /// Fails with kNotFound when the file does not exist, kInvalidArgument on
+  /// a missing/foreign/newer-version header. A final line without a
+  /// terminating '\n' (a crash-truncated tail) is dropped with no error —
+  /// every returned record is complete.
+  static Result<std::vector<std::string>> ReadRecords(const std::string& path);
+};
+
+}  // namespace stratrec
+
+#endif  // STRATREC_COMMON_JOURNAL_H_

@@ -1,0 +1,116 @@
+// Minimal JSON value / writer / reader for the wire codec and journal.
+//
+// This is deliberately not a general-purpose JSON library: it implements
+// exactly what the record/replay subsystem needs and what a gRPC/HTTP
+// front end can reuse —
+//
+//   * an insertion-ordered object representation, so encode -> dump is
+//     deterministic (stable field order) and a re-encoded value is
+//     byte-identical to the original encoding,
+//   * shortest-round-trip double formatting (the decoded double is always
+//     bit-identical to the encoded one; the parameter space is normalized,
+//     finite [0, 1] data — a non-finite double dumps as `null` so the
+//     document stays valid JSON, and the parser rejects non-finite number
+//     tokens, so the loss surfaces as a clean field-level decode error),
+//   * a strict recursive-descent parser returning Status errors instead of
+//     throwing.
+//
+// Dump() emits compact single-line JSON, which is what makes the journal a
+// line-delimited format: one Dump() per record, '\n'-separated.
+#ifndef STRATREC_COMMON_JSON_H_
+#define STRATREC_COMMON_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::json {
+
+/// One JSON value: null, bool, finite number, string, array, or an
+/// insertion-ordered object.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Object members keep insertion (and parse) order.
+  using Member = std::pair<std::string, Value>;
+
+  Value() : type_(Type::kNull) {}
+  Value(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Value(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Value(int value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Value(size_t value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Value(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Value(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+
+  static Value Array() { return Value(Type::kArray); }
+  static Value Object() { return Value(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; must only be called on the matching type.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Array building.
+  Value& Append(Value value) {
+    items_.push_back(std::move(value));
+    return items_.back();
+  }
+  size_t size() const { return items_.size(); }
+
+  /// Object building: appends (no duplicate check — encoders control keys).
+  Value& Add(std::string key, Value value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return members_.back().second;
+  }
+
+  /// Object lookup: first member named `key`, or nullptr.
+  const Value* Find(std::string_view key) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  explicit Value(Type type) : type_(type) {}
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Compact single-line serialization ({"a":1,"b":[true,"x"]}). Object
+/// members print in insertion order; doubles use the shortest decimal form
+/// that parses back bit-identically.
+std::string Dump(const Value& value);
+
+/// Formats one double the way Dump() does (shortest exact round-trip;
+/// "null" for non-finite values).
+std::string FormatNumber(double value);
+
+/// Strict parse of one JSON document (trailing non-whitespace is an error).
+/// Fails with kInvalidArgument, citing the byte offset. Numbers must be
+/// finite; duplicate object keys keep both members (Find returns the first).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace stratrec::json
+
+#endif  // STRATREC_COMMON_JSON_H_

@@ -73,6 +73,12 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Statuses compare by code and message (the wire codec round-trips both,
+  /// so a decoded journal outcome equals the recorded one).
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
  private:
   StatusCode code_;
   std::string message_;

@@ -40,6 +40,8 @@ struct AdparResult {
   double squared_distance = 0.0;
   /// sqrt of the above: the l2 distance the paper plots in Figure 17.
   double distance = 0.0;
+
+  bool operator==(const AdparResult&) const = default;
 };
 
 /// Optional execution trace mirroring the paper's worked example

@@ -22,6 +22,8 @@ namespace stratrec::core {
 struct Catalog {
   std::vector<Strategy> strategies;
   std::vector<StrategyProfile> profiles;
+
+  bool operator==(const Catalog&) const = default;
 };
 
 /// Everything the Aggregator derives for one batch.
@@ -33,6 +35,8 @@ struct AggregatorReport {
   std::vector<ParamVector> strategy_params;
   /// The batch optimization outcome.
   BatchResult batch;
+
+  bool operator==(const AggregatorReport&) const = default;
 };
 
 /// Owns the platform's strategy catalog and parameter models.

@@ -51,6 +51,8 @@ struct RequestOutcome {
   /// The k recommended strategies (indices into the profile/strategy list),
   /// ascending by workforce requirement; empty unless satisfied.
   std::vector<size_t> strategies;
+
+  bool operator==(const RequestOutcome&) const = default;
 };
 
 /// Result of one batch optimization.
@@ -60,6 +62,8 @@ struct BatchResult {
   double workforce_used = 0.0;
   std::vector<size_t> satisfied;    ///< request indices served
   std::vector<size_t> unsatisfied;  ///< request indices to forward to ADPaR
+
+  bool operator==(const BatchResult&) const = default;
 };
 
 /// The three implemented algorithms (Section 5.2.1).

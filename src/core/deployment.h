@@ -23,6 +23,8 @@ struct DeploymentRequest {
   /// The platform's pay-off for serving this request: the budget the
   /// requester is willing to expend (paper Section 3.3.2, f_i = d_i.cost).
   double Payoff() const { return thresholds.cost; }
+
+  bool operator==(const DeploymentRequest&) const = default;
 };
 
 /// Validates a request: thresholds in [0, 1] and k >= 1.

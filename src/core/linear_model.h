@@ -30,6 +30,8 @@ struct LinearModel {
 
   /// Solves target = alpha * w + beta for w. Fails when alpha == 0.
   Result<double> SolveForWorkforce(double target) const;
+
+  bool operator==(const LinearModel&) const = default;
 };
 
 /// The three per-parameter models of one (strategy, task-type) pair.
@@ -44,6 +46,8 @@ struct StrategyProfile {
     return ParamVector{quality.EvalClamped(w), cost.EvalClamped(w),
                        latency.EvalClamped(w)};
   }
+
+  bool operator==(const StrategyProfile&) const = default;
 };
 
 /// One historical observation used for model fitting: a deployment executed

@@ -38,6 +38,8 @@ struct StratRecOptions {
 struct AlternativeRecommendation {
   size_t request_index = 0;
   AdparResult result;
+
+  bool operator==(const AlternativeRecommendation&) const = default;
 };
 
 /// Everything StratRec returns for a batch.
@@ -48,6 +50,8 @@ struct StratRecReport {
   std::vector<AlternativeRecommendation> alternatives;
   /// Requests ADPaR itself could not help (k exceeds the catalog size).
   std::vector<size_t> adpar_failures;
+
+  bool operator==(const StratRecReport&) const = default;
 };
 
 /// The middle layer. Construct once per (platform, task type) with the

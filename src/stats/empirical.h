@@ -17,6 +17,8 @@ namespace stratrec::stats {
 struct PmfAtom {
   double value = 0.0;
   double probability = 0.0;
+
+  bool operator==(const PmfAtom&) const = default;
 };
 
 /// Discrete probability mass function over real values.

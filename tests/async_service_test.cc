@@ -82,8 +82,10 @@ TEST(AsyncTicket, TryGetEventuallyDelivers) {
   auto service = Service::Create(Table1Catalog(), config);
   ASSERT_TRUE(service.ok());
 
-  auto ticket = service->RunSweepAsync(
-      {Table1Requests(), {"exact", "brute"}, AvailabilitySpec::Fixed(0.8)});
+  auto ticket = service->RunSweepAsync({Table1Requests(),
+                                        {"exact", "brute"},
+                                        AvailabilitySpec::Fixed(0.8),
+                                        /*request_id=*/{}});
   std::optional<Result<SweepReport>> outcome;
   while (!(outcome = ticket.TryGet()).has_value()) {
     std::this_thread::yield();

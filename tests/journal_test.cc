@@ -1,0 +1,342 @@
+// Journal subsystem tests: writer/reader framing, the Service taps under
+// synchronous and concurrent async load (cancelled tickets included),
+// caller-supplied request ids, executor gauges in ServiceStats, and
+// trace-driven replay reproducing recorded reports byte for byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/api/catalog.h"
+#include "src/api/registry.h"
+#include "src/api/replay.h"
+#include "src/common/journal.h"
+
+namespace stratrec::api {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "stratrec_" + name + ".journal";
+}
+
+core::Catalog Table1Catalog() {
+  core::Catalog catalog;
+  catalog.strategies = {
+      {"s1", core::ParseStageName("SIM-COL-CRO").value()},
+      {"s2", core::ParseStageName("SEQ-IND-CRO").value()},
+      {"s3", core::ParseStageName("SIM-IND-CRO").value()},
+      {"s4", core::ParseStageName("SIM-IND-HYB").value()},
+  };
+  catalog.profiles = {
+      {{0.25, 0.30}, {0.3125, 0.00}, {-0.15, 0.40}},
+      {{0.25, 0.55}, {0.4125, 0.00}, {-0.15, 0.40}},
+      {{0.25, 0.60}, {0.6250, 0.00}, {-0.20, 0.30}},
+      {{0.25, 0.68}, {0.7250, 0.00}, {-0.20, 0.30}},
+  };
+  return catalog;
+}
+
+BatchRequest Table1Batch() {
+  BatchRequest batch;
+  batch.requests = {
+      {"d1", {0.4, 0.17, 0.28}, 3},
+      {"d2", {0.8, 0.20, 0.28}, 3},
+      {"d3", {0.7, 0.83, 0.28}, 3},
+  };
+  batch.availability = AvailabilitySpec::Fixed(0.8);
+  batch.aggregation = core::AggregationMode::kMax;
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Writer / reader framing.
+// ---------------------------------------------------------------------------
+
+TEST(Journal, WriterReaderRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  {
+    auto writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE((*writer)->Append("{\"kind\":\"a\"}").ok());
+    EXPECT_TRUE((*writer)->Append("{\"kind\":\"b\"}").ok());
+    EXPECT_EQ((*writer)->records_written(), 2u);
+  }
+  auto records = JournalReader::ReadRecords(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ(records->front(), "{\"kind\":\"a\"}");
+  EXPECT_EQ(records->back(), "{\"kind\":\"b\"}");
+}
+
+TEST(Journal, ReaderValidatesHeaderAndDropsTruncatedTail) {
+  EXPECT_EQ(JournalReader::ReadRecords(TempPath("missing")).status().code(),
+            StatusCode::kNotFound);
+
+  const std::string path = TempPath("framing");
+  {  // Foreign format name.
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("{\"format\":\"other\",\"version\":1}\nrec\n", f);
+    fclose(f);
+    EXPECT_EQ(JournalReader::ReadRecords(path).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // Newer version.
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("{\"format\":\"stratrec-journal\",\"version\":99}\nrec\n", f);
+    fclose(f);
+    EXPECT_EQ(JournalReader::ReadRecords(path).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // A crash-truncated final line (no '\n') is dropped, not an error.
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("{\"format\":\"stratrec-journal\",\"version\":1}\nwhole\ntorn", f);
+    fclose(f);
+    auto records = JournalReader::ReadRecords(path);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 1u);
+    EXPECT_EQ(records->front(), "whole");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service taps.
+// ---------------------------------------------------------------------------
+
+TEST(Journal, ServiceRecordsConfigCatalogAndPairs) {
+  const std::string path = TempPath("sync_pairs");
+  BatchReport batch_report;
+  SweepReport sweep_report;
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 2;
+  config.journal.path = path;
+  {
+    auto service = Service::Create(Table1Catalog(), config);
+    ASSERT_TRUE(service.ok());
+
+    auto batch = service->SubmitBatch(Table1Batch());
+    ASSERT_TRUE(batch.ok());
+    batch_report = *batch;
+
+    SweepRequest sweep;
+    sweep.targets = {{"t1", {0.9, 0.1, 0.1}, 2}, {"t2", {0.5, 0.9, 0.9}, 9}};
+    sweep.solvers = {"exact"};
+    sweep.availability = AvailabilitySpec::Fixed(0.8);
+    auto swept = service->RunSweep(sweep);
+    ASSERT_TRUE(swept.ok());
+    sweep_report = *swept;
+  }
+
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->has_config);
+  EXPECT_TRUE(trace->has_catalog);
+  EXPECT_TRUE(trace->catalog.strategies == Table1Catalog().strategies);
+  EXPECT_EQ(trace->config.execution.worker_threads, 2u);
+  ASSERT_EQ(trace->pairs.size(), 2u);
+
+  const wire::PairRecord& recorded_batch = trace->pairs[0];
+  EXPECT_EQ(recorded_batch.kind, wire::PairRecord::Kind::kBatch);
+  EXPECT_TRUE(recorded_batch.status.ok());
+  EXPECT_TRUE(recorded_batch.batch_report == batch_report);
+  EXPECT_TRUE(recorded_batch.batch_request == Table1Batch());
+
+  const wire::PairRecord& recorded_sweep = trace->pairs[1];
+  EXPECT_EQ(recorded_sweep.kind, wire::PairRecord::Kind::kSweep);
+  EXPECT_TRUE(recorded_sweep.status.ok());
+  EXPECT_TRUE(recorded_sweep.sweep_report == sweep_report);
+  // The infeasible t2 cell (k=9 > |S|) travels inside the OK report.
+  ASSERT_EQ(recorded_sweep.sweep_report.outcomes.size(), 2u);
+  EXPECT_EQ(recorded_sweep.sweep_report.outcomes[1].status.code(),
+            StatusCode::kInfeasible);
+
+  // Replay the trace at a different pool size: byte-identical reports.
+  wire::ReplayOptions options;
+  options.worker_threads = 3;
+  auto replayed = wire::ReplayTrace(*trace, options);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->replayed, 2u);
+  EXPECT_EQ(replayed->matched, 2u);
+  EXPECT_EQ(replayed->skipped, 0u);
+  EXPECT_TRUE(replayed->ok());
+}
+
+TEST(Journal, CallerSuppliedRequestIdIsAdopted) {
+  const std::string path = TempPath("caller_id");
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.journal.path = path;
+  auto service = Service::Create(Table1Catalog(), config);
+  ASSERT_TRUE(service.ok());
+
+  BatchRequest request = Table1Batch();
+  request.request_id = "front-end/42";
+  auto ticket = service->SubmitBatchAsync(request);
+  EXPECT_EQ(ticket.id(), "front-end/42");
+  auto report = ticket.Wait();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->request_id, "front-end/42");
+  // The next service-assigned id is unaffected.
+  auto assigned = service->SubmitBatch(Table1Batch());
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(assigned->request_id.rfind("batch-", 0), 0u);
+}
+
+// A batch backend that parks the single worker until released, so queued
+// tickets provably stay queued (same idiom as async_service_test).
+struct JournalGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool released = false;
+};
+JournalGate& Gate() {
+  static JournalGate* gate = new JournalGate();
+  return *gate;
+}
+
+TEST(Journal, AsyncLoadRecordsExactlyTheCompletedPairsAndReplays) {
+  ASSERT_TRUE(AlgorithmRegistry::Global()
+                  .RegisterBatch(
+                      "journal-gate",
+                      [](const std::vector<core::DeploymentRequest>& requests,
+                         const std::vector<core::StrategyProfile>&, double,
+                         const core::BatchOptions&)
+                          -> Result<core::BatchResult> {
+                        JournalGate& gate = Gate();
+                        std::unique_lock<std::mutex> lock(gate.mutex);
+                        gate.entered = true;
+                        gate.cv.notify_all();
+                        gate.cv.wait(lock,
+                                     [&gate]() { return gate.released; });
+                        core::BatchResult result;
+                        result.outcomes.resize(requests.size());
+                        return result;
+                      })
+                  .ok());
+
+  const std::string path = TempPath("async_load");
+  std::set<std::string> completed_ids;
+  std::string cancelled_id;
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 1;  // FIFO: provable queueing
+  config.journal.path = path;
+  {
+    auto service = Service::Create(Table1Catalog(), config);
+    ASSERT_TRUE(service.ok());
+
+    BatchRequest gated = Table1Batch();
+    gated.algorithm = "journal-gate";
+    gated.recommend_alternatives = false;
+    auto running = service->SubmitBatchAsync(gated);
+    {
+      JournalGate& gate = Gate();
+      std::unique_lock<std::mutex> lock(gate.mutex);
+      gate.cv.wait(lock, [&gate]() { return gate.entered; });
+    }
+
+    // Concurrent submissions while the worker is parked; all stay queued.
+    std::vector<Ticket<BatchReport>> tickets;
+    for (int i = 0; i < 4; ++i) {
+      tickets.push_back(service->SubmitBatchAsync(Table1Batch()));
+    }
+
+    // With the worker parked, the executor gauges are deterministic.
+    const ServiceStats mid = service->stats();
+    EXPECT_EQ(mid.active_workers, 1u);
+    EXPECT_EQ(mid.queue_depth, 4u);
+
+    ASSERT_TRUE(tickets[1].Cancel());
+    cancelled_id = tickets[1].id();
+
+    {
+      std::lock_guard<std::mutex> lock(Gate().mutex);
+      Gate().released = true;
+    }
+    Gate().cv.notify_all();
+
+    completed_ids.insert(running.id());
+    ASSERT_TRUE(running.Wait().ok());
+    for (int i = 0; i < 4; ++i) {
+      if (i == 1) continue;
+      completed_ids.insert(tickets[i].id());
+      ASSERT_TRUE(tickets[i].Wait().ok());
+    }
+  }  // service destructor drains the queue -> every record is on disk
+
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->pairs.size(), 5u);  // 4 completed + 1 cancelled
+
+  std::set<std::string> recorded_ok;
+  size_t recorded_cancelled = 0;
+  for (const wire::PairRecord& pair : trace->pairs) {
+    if (pair.status.ok()) {
+      recorded_ok.insert(pair.request_id);
+    } else {
+      EXPECT_EQ(pair.status.code(), StatusCode::kCancelled);
+      EXPECT_EQ(pair.request_id, cancelled_id);
+      // The withdrawn request itself is preserved.
+      EXPECT_TRUE(pair.batch_request == Table1Batch());
+      ++recorded_cancelled;
+    }
+  }
+  EXPECT_EQ(recorded_ok, completed_ids);
+  EXPECT_EQ(recorded_cancelled, 1u);
+
+  // Replay skips the cancelled pair and reproduces the completed four.
+  auto replayed = wire::ReplayTrace(*trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->skipped, 1u);
+  EXPECT_EQ(replayed->replayed, 4u);
+  EXPECT_EQ(replayed->matched, 4u);
+}
+
+TEST(Journal, RecordCancelledCanBeDisabled) {
+  const std::string path = TempPath("no_cancelled");
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 1;
+  config.journal.path = path;
+  config.journal.record_cancelled = false;
+  {
+    auto service = Service::Create(Table1Catalog(), config);
+    ASSERT_TRUE(service.ok());
+    // Park the worker with a slow-but-normal batch? Not needed: cancel can
+    // only win while queued, so stack two submissions and cancel the second
+    // immediately — if the race is lost the pair is recorded as completed,
+    // so only count cancelled records.
+    auto first = service->SubmitBatchAsync(Table1Batch());
+    auto second = service->SubmitBatchAsync(Table1Batch());
+    second.Cancel();
+    (void)first.Wait();
+    (void)second.Wait();
+  }
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok());
+  for (const wire::PairRecord& pair : trace->pairs) {
+    EXPECT_TRUE(pair.status.ok());  // no cancelled records on disk
+  }
+}
+
+TEST(Journal, ReplayRequiresConfigAndCatalog) {
+  wire::JournalTrace trace;
+  EXPECT_EQ(wire::ServiceFromTrace(trace).status().code(),
+            StatusCode::kFailedPrecondition);
+  trace.has_config = true;
+  trace.config.batch.aggregation = core::AggregationMode::kMax;
+  EXPECT_EQ(wire::ServiceFromTrace(trace).status().code(),
+            StatusCode::kFailedPrecondition);
+  trace.has_catalog = true;
+  trace.catalog = Table1Catalog();
+  auto service = wire::ServiceFromTrace(trace);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+}
+
+}  // namespace
+}  // namespace stratrec::api
