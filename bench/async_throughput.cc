@@ -33,7 +33,25 @@ struct RunResult {
   double seconds = 0.0;
   double requests_per_sec = 0.0;
   double speedup = 1.0;
+  // Work-stealing counters for the timed run (warm-up subtracted): how pool
+  // tasks reached their thread — stolen from another worker's deque vs
+  // popped from the owner's own.
+  size_t steals = 0;
+  size_t local_hits = 0;
 };
+
+/// Counter snapshot taken only once the pool is dry: already-claimed
+/// ParallelFor helpers can be popped (and counted) a beat after the batch
+/// that spawned them returns, so sampling right after SubmitBatch would
+/// misattribute those pops across the warm-up/timed-run boundary.
+api::ServiceStats DrainedStats(const stratrec::Service& service) {
+  api::ServiceStats stats = service.stats();
+  while (stats.queue_depth != 0) {
+    std::this_thread::yield();
+    stats = service.stats();
+  }
+  return stats;
+}
 
 double MeasureSeconds(const stratrec::Service& service,
                       const std::vector<api::BatchRequest>& batches) {
@@ -99,6 +117,7 @@ int main(int argc, char** argv) {
     }
     // One untimed warm-up batch per configuration (first-touch effects).
     (void)service->SubmitBatch(batches.front());
+    const api::ServiceStats warmup = DrainedStats(*service);
 
     RunResult run;
     run.threads = threads;
@@ -110,16 +129,21 @@ int main(int argc, char** argv) {
                           : 0.0;
     run.speedup =
         results.empty() ? 1.0 : results.front().seconds / run.seconds;
+    const api::ServiceStats stats = DrainedStats(*service);
+    run.steals = stats.steals - warmup.steals;
+    run.local_hits = stats.local_hits - warmup.local_hits;
     results.push_back(run);
   }
 
-  stratrec::AsciiTable table(
-      {"threads", "batches", "seconds", "requests/sec", "speedup vs 1"});
+  stratrec::AsciiTable table({"threads", "batches", "seconds", "requests/sec",
+                              "speedup vs 1", "steals", "local hits"});
   for (const RunResult& run : results) {
     table.AddRow({std::to_string(run.threads), std::to_string(run.batches),
                   stratrec::FormatDouble(run.seconds, 3),
                   stratrec::FormatDouble(run.requests_per_sec, 1),
-                  stratrec::FormatDouble(run.speedup, 2) + "x"});
+                  stratrec::FormatDouble(run.speedup, 2) + "x",
+                  std::to_string(run.steals),
+                  std::to_string(run.local_hits)});
   }
   table.Print();
 
@@ -139,7 +163,8 @@ int main(int argc, char** argv) {
             ", \"requests_per_sec\": " +
             stratrec::FormatDouble(run.requests_per_sec, 2) +
             ", \"speedup_vs_1\": " + stratrec::FormatDouble(run.speedup, 4) +
-            "}";
+            ", \"steals\": " + std::to_string(run.steals) +
+            ", \"local_hits\": " + std::to_string(run.local_hits) + "}";
   }
   json += "\n  ]\n}\n";
   std::printf("\n%s", json.c_str());

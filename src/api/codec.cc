@@ -1048,6 +1048,45 @@ Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value) {
 }
 
 // ---------------------------------------------------------------------------
+// ServiceStats
+// ---------------------------------------------------------------------------
+
+json::Value Encode(const api::ServiceStats& stats) {
+  Value obj = Value::Object();
+  obj.Add("batches", stats.batches);
+  obj.Add("sweeps", stats.sweeps);
+  obj.Add("streams_opened", stats.streams_opened);
+  obj.Add("stream_events", stats.stream_events);
+  obj.Add("requests_processed", stats.requests_processed);
+  obj.Add("cancelled", stats.cancelled);
+  obj.Add("queue_depth", stats.queue_depth);
+  obj.Add("active_workers", stats.active_workers);
+  obj.Add("steals", stats.steals);
+  obj.Add("local_hits", stats.local_hits);
+  return obj;
+}
+
+Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
+  if (!value.is_object()) return NotAnObject("service stats");
+  api::ServiceStats stats;
+  STRATREC_RETURN_NOT_OK(GetSize(value, "batches", &stats.batches));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "sweeps", &stats.sweeps));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "streams_opened", &stats.streams_opened));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "stream_events", &stats.stream_events));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "requests_processed", &stats.requests_processed));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "cancelled", &stats.cancelled));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "queue_depth", &stats.queue_depth));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "active_workers", &stats.active_workers));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "steals", &stats.steals));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "local_hits", &stats.local_hits));
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
 // Journal records
 // ---------------------------------------------------------------------------
 
@@ -1057,6 +1096,7 @@ constexpr char kKindConfig[] = "config";
 constexpr char kKindCatalog[] = "catalog";
 constexpr char kKindBatch[] = "batch";
 constexpr char kKindSweep[] = "sweep";
+constexpr char kKindStats[] = "stats";
 
 template <typename Request, typename Report>
 std::string EncodePairRecord(const char* kind, const std::string& request_id,
@@ -1098,6 +1138,13 @@ std::string EncodeSweepRecord(const std::string& request_id,
                               const api::SweepRequest& request,
                               const Result<api::SweepReport>& outcome) {
   return EncodePairRecord(kKindSweep, request_id, request, outcome);
+}
+
+std::string EncodeStatsRecord(const api::ServiceStats& stats) {
+  Value record = Value::Object();
+  record.Add("kind", kKindStats);
+  record.Add("stats", Encode(stats));
+  return json::Dump(record);
 }
 
 Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records) {
@@ -1164,6 +1211,12 @@ Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records) {
         }
       }
       trace.pairs.push_back(std::move(pair));
+    } else if (kind == kKindStats) {
+      const Value* stats = parsed->Find("stats");
+      if (stats == nullptr) return MissingField("stats");
+      auto decoded = DecodeServiceStats(*stats);
+      if (!decoded.ok()) return decoded.status();
+      trace.stats.push_back(std::move(*decoded));
     } else {
       return Status::InvalidArgument(
           "unknown journal record kind '" + kind + "' on line " +

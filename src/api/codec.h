@@ -58,6 +58,7 @@ json::Value Encode(const api::SweepReport& report);
 json::Value Encode(const api::StreamOptions& options);
 json::Value Encode(const api::StreamEvent& event);
 json::Value Encode(const api::ServiceConfig& config);
+json::Value Encode(const api::ServiceStats& stats);
 
 /// Out-parameter shape because Result<Status> would be ambiguous.
 Status DecodeStatus(const json::Value& value, Status* out);
@@ -74,6 +75,7 @@ Result<api::SweepReport> DecodeSweepReport(const json::Value& value);
 Result<api::StreamOptions> DecodeStreamOptions(const json::Value& value);
 Result<api::StreamEvent> DecodeStreamEvent(const json::Value& value);
 Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value);
+Result<api::ServiceStats> DecodeServiceStats(const json::Value& value);
 
 // ---------------------------------------------------------------------------
 // Journal records: one self-describing line per record.
@@ -107,6 +109,11 @@ std::string EncodeBatchRecord(const std::string& request_id,
 std::string EncodeSweepRecord(const std::string& request_id,
                               const api::SweepRequest& request,
                               const Result<api::SweepReport>& outcome);
+/// Stats snapshot record ({"kind":"stats", ...}): a service's lifetime
+/// counters plus the executor gauges (queue depth, active workers,
+/// steal/local-hit counters), so a trace can carry saturation checkpoints
+/// alongside its pairs.
+std::string EncodeStatsRecord(const api::ServiceStats& stats);
 
 /// A fully decoded journal: everything replay needs to rebuild the service
 /// and its workload. Pairs keep journal (completion) order.
@@ -116,6 +123,9 @@ struct JournalTrace {
   bool has_catalog = false;
   core::Catalog catalog;
   std::vector<PairRecord> pairs;
+  /// Stats checkpoints, in journal order (may be empty: taps only write
+  /// them when asked — see EncodeStatsRecord).
+  std::vector<api::ServiceStats> stats;
 };
 
 /// Decodes record lines (JournalReader::ReadRecords output). Unknown record

@@ -185,12 +185,21 @@ struct ServiceStats {
   /// Async tickets withdrawn via Cancel() before a worker claimed them.
   size_t cancelled = 0;
   /// Instantaneous executor gauges (not lifetime counters), sampled at
-  /// stats() time: tasks waiting in the pool queue and workers currently
-  /// running a task. The raw accessors live on stratrec::Executor
-  /// (QueueDepth / ActiveWorkers); they are surfaced here so load shedding
-  /// and the work-stealing roadmap item have service-level data.
+  /// stats() time: tasks waiting across the pool's queues (injection +
+  /// per-worker deques, one consistent total) and workers currently running
+  /// a task. The raw accessors live on stratrec::Executor (QueueDepth /
+  /// ActiveWorkers); they are surfaced here so load shedding has
+  /// service-level data.
   size_t queue_depth = 0;
   size_t active_workers = 0;
+  /// Work-stealing counters (lifetime, from Executor::StealCount /
+  /// LocalHitCount): how pool tasks reached their thread. A high steal
+  /// share means the pool is rebalancing across workers; a high local share
+  /// means fan-out stayed cache-local on the worker that spawned it.
+  size_t steals = 0;
+  size_t local_hits = 0;
+
+  bool operator==(const ServiceStats&) const = default;
 };
 
 }  // namespace stratrec::api

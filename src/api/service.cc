@@ -425,7 +425,17 @@ ServiceStats Service::stats() const {
   ServiceStats out = state_->stats.Snapshot();
   out.queue_depth = state_->executor.QueueDepth();
   out.active_workers = state_->executor.ActiveWorkers();
+  out.steals = static_cast<size_t>(state_->executor.StealCount());
+  out.local_hits = static_cast<size_t>(state_->executor.LocalHitCount());
   return out;
+}
+
+Status Service::RecordStatsSnapshot() const {
+  if (!state_->journal) {
+    return Status::FailedPrecondition(
+        "stats snapshot requested but journaling is not configured");
+  }
+  return state_->journal->Append(wire::EncodeStatsRecord(stats()));
 }
 
 // ---------------------------------------------------------------------------

@@ -132,8 +132,14 @@ class Service {
   /// Worker threads of the service executor (after resolving 0 to the
   /// hardware concurrency).
   size_t worker_threads() const;
-  /// Snapshot of the lifetime counters (folds the striped atomics).
+  /// Snapshot of the lifetime counters (folds the striped atomics) plus the
+  /// executor gauges: queue depth (injection + per-worker deques), active
+  /// workers, and the work-stealing steal/local-hit counters.
   ServiceStats stats() const;
+  /// Appends a stats-snapshot record to the journal, so a trace carries
+  /// saturation checkpoints alongside its (request, outcome) pairs. Fails
+  /// with kFailedPrecondition when journaling is not configured.
+  Status RecordStatsSnapshot() const;
 
  private:
   explicit Service(std::shared_ptr<internal::ServiceState> state)

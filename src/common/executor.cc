@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <utility>
 
 namespace stratrec {
 
@@ -16,6 +17,14 @@ size_t ResolveThreadCount(size_t requested) {
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? hardware : 1;
 }
+
+/// Which executor's worker (if any) the current thread is. Worker threads
+/// belong to exactly one pool for their whole life, so a plain thread_local
+/// pair is enough; external threads keep the null default. A worker of pool
+/// A calling into pool B takes B's external paths, which is correct: it
+/// owns no deque there.
+thread_local const Executor* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
 
 /// Shared bookkeeping of one ParallelFor call. Chunks are claimed through
 /// one atomic cursor, so helpers and the caller never run the same range;
@@ -69,9 +78,13 @@ struct ParallelForState {
 
 Executor::Executor(size_t threads) {
   const size_t count = ResolveThreadCount(threads);
+  slots_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
   }
 }
 
@@ -80,31 +93,41 @@ Executor::~Executor() {
   // the last reference to the owning object (e.g. a ticket callback dropped
   // the final Service handle). join() on self would throw from a destructor;
   // fail loudly with the actual contract violation instead.
-  const std::thread::id self = std::this_thread::get_id();
-  for (const std::thread& worker : workers_) {
-    if (worker.get_id() == self) {
-      std::fprintf(stderr,
-                   "stratrec::Executor destroyed from one of its own workers "
-                   "(a pool task must not release the last reference to the "
-                   "object owning the pool)\n");
-      std::abort();
-    }
+  if (tls_pool == this) {
+    std::fprintf(stderr,
+                 "stratrec::Executor destroyed from one of its own workers "
+                 "(a pool task must not release the last reference to the "
+                 "object owning the pool)\n");
+    std::abort();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // After this point Submit() runs inline; everything already queued has
+    // bumped pending_, so no worker exits before the queues are dry.
+    std::lock_guard<std::mutex> lock(injection_mutex_);
     shutdown_ = true;
+  }
+  stopping_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-  // Workers exit only once the queue is empty, so nothing is left behind.
+  // Workers exit only once every queue is empty, so nothing is left behind.
 }
 
 void Executor::Submit(std::function<void()> task) {
+  if (tls_pool == this) {
+    // A pool task spawning follow-up work: keep it on this worker's deque
+    // (LIFO for the owner, stealable by everyone else).
+    PushToSlot(tls_worker_index, std::move(task));
+    return;
+  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(injection_mutex_);
     if (!shutdown_) {
-      queue_.push_back(std::move(task));
+      injection_.push_back(std::move(task));
       task = nullptr;
+      pending_.fetch_add(1, std::memory_order_seq_cst);
     }
   }
   if (task) {
@@ -112,28 +135,121 @@ void Executor::Submit(std::function<void()> task) {
     task();
     return;
   }
+  NotifySleepers();
+}
+
+void Executor::PushToSlot(size_t index, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(slots_[index]->mutex);
+    slots_[index]->deque.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  NotifySleepers();
+}
+
+void Executor::NotifySleepers() {
+  if (idle_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    // Empty critical section on purpose: it orders this notify against a
+    // sleeper that advertised itself but has not reached wait() yet.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
   wake_.notify_one();
 }
 
-size_t Executor::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+std::function<void()> Executor::TryAcquire(size_t index) {
+  WorkerSlot& own = *slots_[index];
+  {
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      std::function<void()> task = std::move(own.deque.back());
+      own.deque.pop_back();  // LIFO: newest first, still hot in cache
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      own.local_hits.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal before touching the injection queue: sub-work of in-flight jobs
+  // outranks tickets that have not started yet.
+  const size_t count = slots_.size();
+  for (size_t offset = 1; offset < count; ++offset) {
+    WorkerSlot& victim = *slots_[(index + offset) % count];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      std::function<void()> task = std::move(victim.deque.front());
+      victim.deque.pop_front();  // FIFO: the oldest, largest-remaining task
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      own.steals.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    if (!injection_.empty()) {
+      std::function<void()> task = std::move(injection_.front());
+      injection_.pop_front();
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      return task;
+    }
+  }
+  return nullptr;
 }
 
-void Executor::WorkerLoop() {
+void Executor::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (std::function<void()> task = TryAcquire(index)) {
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      active_workers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
     }
-    active_workers_.fetch_add(1, std::memory_order_relaxed);
-    task();
-    active_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_.load(std::memory_order_seq_cst) &&
+        pending_.load(std::memory_order_seq_cst) == 0) {
+      return;  // shutdown with every queue drained
+    }
+    // Sleep protocol (see header): advertise, re-check, then wait.
+    idle_.fetch_add(1, std::memory_order_seq_cst);
+    if (pending_.load(std::memory_order_seq_cst) == 0 &&
+        !stopping_.load(std::memory_order_seq_cst)) {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      wake_.wait(lock, [this]() {
+        return pending_.load(std::memory_order_relaxed) > 0 ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+    }
+    idle_.fetch_sub(1, std::memory_order_seq_cst);
   }
+}
+
+size_t Executor::queued() const {
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    total += injection_.size();
+  }
+  for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    total += slot->deque.size();
+  }
+  return total;
+}
+
+uint64_t Executor::StealCount() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+    total += slot->steals.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Executor::LocalHitCount() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerSlot>& slot : slots_) {
+    total += slot->local_hits.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Executor::ParallelFor(size_t n, size_t grain,
@@ -154,10 +270,19 @@ void Executor::ParallelFor(size_t n, size_t grain,
 
   // One helper per worker beyond what the caller will cover; a helper that
   // arrives after every chunk is claimed exits immediately, so over-asking
-  // is harmless.
+  // is harmless. Helpers ride the worker deques, never the injection queue:
+  // a worker caller keeps them on its own deque (thieves rebalance), an
+  // external caller deals them round-robin across the slots — either way
+  // fan-out latency does not depend on how many tickets are pending.
   const size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  const bool on_own_worker = tls_pool == this;
   for (size_t i = 0; i < helpers; ++i) {
-    Submit([state]() { state->RunChunks(); });
+    const size_t slot =
+        on_own_worker
+            ? tls_worker_index
+            : external_slot_hint_.fetch_add(1, std::memory_order_relaxed) %
+                  slots_.size();
+    PushToSlot(slot, [state]() { state->RunChunks(); });
   }
   state->RunChunks();
 

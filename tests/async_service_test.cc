@@ -375,24 +375,22 @@ void ExpectSameBatchReport(const BatchReport& sync_report,
             async_report.result.adpar_failures);
 }
 
-TEST(AsyncDeterminism, BatchBitMatchesSynchronousPath) {
+TEST(AsyncDeterminism, BatchBitMatchesSynchronousPathAtEveryPoolSize) {
   workload::Generator generator({}, 0xDE7E'0001ull);
   auto profiles = generator.Profiles(120);
 
   // A serial reference service (one worker, chunks never split: grain
-  // larger than the whole matrix) against a maximally parallel one.
+  // larger than the whole matrix) against the work-stealing pool at every
+  // size — on 1 thread the caller runs every chunk itself, on >1 the
+  // chunks ride the worker deques and get stolen, and neither may change
+  // a single bit of the report.
   ServiceConfig serial;
   serial.batch.aggregation = core::AggregationMode::kMax;
   serial.execution.worker_threads = 1;
   serial.execution.parallel_grain = 1u << 30;
-  ServiceConfig parallel = serial;
-  parallel.execution.worker_threads = 4;
-  parallel.execution.parallel_grain = 8;  // force many chunks
 
   auto reference = Service::Create(CatalogFromProfiles(profiles), serial);
-  auto sharded = Service::Create(CatalogFromProfiles(profiles), parallel);
   ASSERT_TRUE(reference.ok());
-  ASSERT_TRUE(sharded.ok());
 
   BatchRequest batch;
   batch.requests = generator.RequestsWithRanges(40, 3, {0.55, 0.95},
@@ -403,27 +401,32 @@ TEST(AsyncDeterminism, BatchBitMatchesSynchronousPath) {
 
   auto sync_report = reference->SubmitBatch(batch);
   ASSERT_TRUE(sync_report.ok()) << sync_report.status().ToString();
-  auto async_report = sharded->SubmitBatchAsync(batch).Wait();
-  ASSERT_TRUE(async_report.ok()) << async_report.status().ToString();
   // Some requests must have flowed to ADPaR for the parallel fan-out to be
   // exercised at all.
   ASSERT_FALSE(sync_report->result.alternatives.empty());
-  ExpectSameBatchReport(*sync_report, *async_report);
+
+  for (const size_t pool_size : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("pool size " + std::to_string(pool_size));
+    ServiceConfig parallel = serial;
+    parallel.execution.worker_threads = pool_size;
+    parallel.execution.parallel_grain = 8;  // force many chunks
+    auto sharded = Service::Create(CatalogFromProfiles(profiles), parallel);
+    ASSERT_TRUE(sharded.ok());
+    auto async_report = sharded->SubmitBatchAsync(batch).Wait();
+    ASSERT_TRUE(async_report.ok()) << async_report.status().ToString();
+    ExpectSameBatchReport(*sync_report, *async_report);
+  }
 }
 
-TEST(AsyncDeterminism, SweepBitMatchesSynchronousPath) {
+TEST(AsyncDeterminism, SweepBitMatchesSynchronousPathAtEveryPoolSize) {
   workload::Generator generator({}, 0xDE7E'0002ull);
   auto profiles = generator.Profiles(50);
 
   ServiceConfig serial;
   serial.execution.worker_threads = 1;
-  ServiceConfig parallel;
-  parallel.execution.worker_threads = 4;
 
   auto reference = Service::Create(CatalogFromProfiles(profiles), serial);
-  auto sharded = Service::Create(CatalogFromProfiles(profiles), parallel);
   ASSERT_TRUE(reference.ok());
-  ASSERT_TRUE(sharded.ok());
 
   SweepRequest sweep;
   sweep.targets = generator.RequestsWithRanges(12, 5, {0.8, 0.99},
@@ -433,21 +436,133 @@ TEST(AsyncDeterminism, SweepBitMatchesSynchronousPath) {
 
   auto sync_report = reference->RunSweep(sweep);
   ASSERT_TRUE(sync_report.ok());
-  auto async_report = sharded->RunSweepAsync(sweep).Wait();
-  ASSERT_TRUE(async_report.ok());
 
-  ASSERT_EQ(sync_report->outcomes.size(), async_report->outcomes.size());
-  for (size_t c = 0; c < sync_report->outcomes.size(); ++c) {
-    const SweepOutcome& a = sync_report->outcomes[c];
-    const SweepOutcome& b = async_report->outcomes[c];
-    EXPECT_EQ(a.target_id, b.target_id);
-    EXPECT_EQ(a.solver, b.solver);
-    EXPECT_EQ(a.status.code(), b.status.code());
-    if (a.status.ok() && b.status.ok()) {
-      EXPECT_EQ(a.result.distance, b.result.distance);
-      EXPECT_EQ(a.result.strategies, b.result.strategies);
+  for (const size_t pool_size : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("pool size " + std::to_string(pool_size));
+    ServiceConfig parallel;
+    parallel.execution.worker_threads = pool_size;
+    auto sharded = Service::Create(CatalogFromProfiles(profiles), parallel);
+    ASSERT_TRUE(sharded.ok());
+    auto async_report = sharded->RunSweepAsync(sweep).Wait();
+    ASSERT_TRUE(async_report.ok());
+
+    ASSERT_EQ(sync_report->outcomes.size(), async_report->outcomes.size());
+    for (size_t c = 0; c < sync_report->outcomes.size(); ++c) {
+      const SweepOutcome& a = sync_report->outcomes[c];
+      const SweepOutcome& b = async_report->outcomes[c];
+      EXPECT_EQ(a.target_id, b.target_id);
+      EXPECT_EQ(a.solver, b.solver);
+      EXPECT_EQ(a.status.code(), b.status.code());
+      if (a.status.ok() && b.status.ok()) {
+        EXPECT_EQ(a.result.distance, b.result.distance);
+        EXPECT_EQ(a.result.strategies, b.result.strategies);
+      }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing stress and observability through the Service facade.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncStress, DeepFanoutUnderConcurrentCancelStorm) {
+  // Batches whose alternatives spill into the nested ADPaR fan-out (deep
+  // ParallelFor from inside pool tasks) racing a storm of Cancel() calls:
+  // every ticket must resolve exactly once — completed with a full report
+  // or withdrawn as kCancelled — and the stats must account for all of
+  // them. Under the old single-FIFO executor the fan-out helpers of a
+  // running ticket queued behind the other 47 tickets; here they ride the
+  // worker deques, so the storm cannot starve an in-flight job.
+  workload::Generator generator({}, 0x5EA1'0001ull);
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 4;
+  config.execution.parallel_grain = 4;  // deep chunking: every batch fans out
+  auto service =
+      Service::Create(CatalogFromProfiles(generator.Profiles(80)), config);
+  ASSERT_TRUE(service.ok());
+
+  constexpr int kTickets = 48;
+  std::vector<Ticket<BatchReport>> tickets;
+  tickets.reserve(kTickets);
+  for (int i = 0; i < kTickets; ++i) {
+    BatchRequest batch;
+    batch.requests = generator.RequestsWithRanges(6, 2, {0.5, 0.9},
+                                                  {0.4, 1.0}, {0.4, 1.0});
+    // Low availability: a good share of every batch flows to ADPaR.
+    batch.availability = AvailabilitySpec::Fixed(0.3);
+    tickets.push_back(service->SubmitBatchAsync(std::move(batch)));
+  }
+
+  // Three cancellers race the workers over disjoint ticket stripes.
+  std::atomic<int> withdrawn{0};
+  std::vector<std::thread> cancellers;
+  cancellers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    cancellers.emplace_back([&tickets, &withdrawn, t]() {
+      for (size_t i = static_cast<size_t>(t); i < tickets.size(); i += 3) {
+        if (i % 2 == 0 && tickets[i].Cancel()) withdrawn.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& canceller : cancellers) canceller.join();
+
+  int completed = 0;
+  int cancelled = 0;
+  for (auto& ticket : tickets) {
+    auto outcome = ticket.Wait();
+    if (outcome.ok()) {
+      EXPECT_EQ(outcome->request_id, ticket.id());
+      ++completed;
+    } else {
+      ASSERT_EQ(outcome.status().code(), StatusCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, kTickets);
+  EXPECT_EQ(cancelled, withdrawn.load());
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.batches, static_cast<size_t>(completed));
+  EXPECT_EQ(stats.cancelled, static_cast<size_t>(cancelled));
+  // Everything drains: already-claimed fan-out helpers may outlive their
+  // ParallelFor by a beat, so poll (the ctest TIMEOUT is the backstop).
+  while (stats.queue_depth != 0) {
+    std::this_thread::yield();
+    stats = service->stats();
+  }
+}
+
+TEST(AsyncService, StealCountersSurfaceThroughStats) {
+  // A chunked batch on a multi-worker pool pushes ParallelFor helpers onto
+  // the worker deques; every helper is eventually popped — locally or by a
+  // thief — so the facade's steal/local-hit counters must move. (Which of
+  // the two moves depends on scheduling; the sum is deterministic > 0.)
+  workload::Generator generator({}, 0x5EA1'0002ull);
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 4;
+  config.execution.parallel_grain = 4;
+  auto service =
+      Service::Create(CatalogFromProfiles(generator.Profiles(100)), config);
+  ASSERT_TRUE(service.ok());
+
+  const ServiceStats before = service->stats();
+  EXPECT_EQ(before.steals + before.local_hits, 0u);
+
+  BatchRequest batch;
+  batch.requests = generator.RequestsWithRanges(20, 3, {0.5, 0.9},
+                                                {0.4, 1.0}, {0.4, 1.0});
+  ASSERT_TRUE(service->SubmitBatch(batch).ok());
+
+  // Helpers the caller out-raced are popped (and counted) moments after the
+  // batch returns; poll rather than race them (ctest TIMEOUT backstops).
+  ServiceStats after = service->stats();
+  while (after.steals + after.local_hits == 0) {
+    std::this_thread::yield();
+    after = service->stats();
+  }
+  EXPECT_GT(after.steals + after.local_hits, 0u);
 }
 
 TEST(AsyncDeterminism, ParallelWorkforceMatrixBitMatchesSerial) {

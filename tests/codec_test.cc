@@ -254,6 +254,21 @@ api::ServiceConfig RandomConfig(Rng& rng) {
   return config;
 }
 
+api::ServiceStats RandomServiceStats(Rng& rng) {
+  api::ServiceStats stats;
+  stats.batches = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.sweeps = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.streams_opened = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.stream_events = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.requests_processed = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.cancelled = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.queue_depth = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.active_workers = static_cast<size_t>(rng.UniformInt(0, 64));
+  stats.steals = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.local_hits = static_cast<size_t>(rng.UniformInt(0, 100000));
+  return stats;
+}
+
 core::Catalog RandomCatalog(Rng& rng) {
   core::Catalog catalog;
   const size_t n = static_cast<size_t>(rng.UniformInt(0, 5));
@@ -337,6 +352,14 @@ TEST(CodecProperty, ConfigCatalogAndSpecRoundTrip) {
   }
 }
 
+TEST(CodecProperty, ServiceStatsRoundTrip) {
+  Rng rng(0xC0DEC'0008ull);
+  for (int i = 0; i < kIterations; ++i) {
+    ExpectRoundTrip(RandomServiceStats(rng), DecodeServiceStats,
+                    "ServiceStats");
+  }
+}
+
 TEST(CodecProperty, StatusRoundTrips) {
   Rng rng(0xC0DEC'0006ull);
   for (int i = 0; i < kIterations; ++i) {
@@ -363,6 +386,46 @@ TEST(Codec, FieldNamesAreStable) {
             "{\"kind\":\"fixed\",\"value\":0.5}");
   EXPECT_EQ(json::Dump(Encode(Status::Infeasible("k > |S|"))),
             "{\"code\":\"Infeasible\",\"message\":\"k > |S|\"}");
+
+  // The stats block the journal checkpoints ride on. Renaming a field here
+  // silently breaks every recorded trace — update the format version too.
+  api::ServiceStats stats;
+  stats.batches = 1;
+  stats.sweeps = 2;
+  stats.streams_opened = 3;
+  stats.stream_events = 4;
+  stats.requests_processed = 5;
+  stats.cancelled = 6;
+  stats.queue_depth = 7;
+  stats.active_workers = 8;
+  stats.steals = 9;
+  stats.local_hits = 10;
+  EXPECT_EQ(json::Dump(Encode(stats)),
+            "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
+            "\"stream_events\":4,\"requests_processed\":5,\"cancelled\":6,"
+            "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
+            "\"local_hits\":10}");
+}
+
+TEST(Codec, StatsRecordDecodesIntoTheTrace) {
+  api::ServiceStats stats;
+  stats.batches = 3;
+  stats.queue_depth = 12;
+  stats.active_workers = 4;
+  stats.steals = 17;
+  stats.local_hits = 23;
+  const std::string record = EncodeStatsRecord(stats);
+  EXPECT_EQ(record.rfind("{\"kind\":\"stats\",\"stats\":", 0), 0u) << record;
+  // A stats checkpoint decodes next to the pairs without disturbing them.
+  auto trace = DecodeTrace({record, record});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->pairs.empty());
+  ASSERT_EQ(trace->stats.size(), 2u);
+  EXPECT_TRUE(trace->stats[0] == stats);
+  EXPECT_TRUE(trace->stats[1] == stats);
+  // Encoding is byte-deterministic: two identical snapshots, two identical
+  // record lines.
+  EXPECT_EQ(EncodeStatsRecord(stats), record);
 }
 
 TEST(Codec, OptionalFieldsAreOmittedAndRestoredUnset) {

@@ -1,10 +1,14 @@
 // stratrec::Executor tests: queue semantics, ParallelFor partition
 // correctness, nested fan-out from inside a pool task (the pattern the
-// async Service relies on), and drain-on-destruction.
+// async Service relies on), drain-on-destruction, and the work-stealing
+// scheduler — per-worker deques, FIFO stealing, the injection/deque split
+// that keeps ParallelFor latency bounded while unrelated tickets are
+// pending, and the QueueDepth/steal-counter observability surface.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "src/common/executor.h"
@@ -107,6 +111,193 @@ TEST(Executor, ParallelForRunsChunksConcurrently) {
     while (started.load() < 2) std::this_thread::yield();
   });
   EXPECT_EQ(started.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing.
+// ---------------------------------------------------------------------------
+
+TEST(Executor, WorkerSubmissionsAreStolenByIdleWorkers) {
+  // One pool task fans out follow-up tasks via Submit(): they land on that
+  // worker's own deque, and the only way the rendezvous below completes is
+  // for idle workers to steal them while the spawner is still blocked
+  // inside its task.
+  Executor executor(4);
+  constexpr int kChildren = 3;
+  std::atomic<int> running{0};
+  std::promise<void> all_running;
+  std::shared_future<void> everyone = all_running.get_future().share();
+  executor.Submit([&executor, &running, &all_running, everyone]() {
+    for (int i = 0; i < kChildren; ++i) {
+      executor.Submit([&running, &all_running]() {
+        if (running.fetch_add(1) + 1 == kChildren) all_running.set_value();
+        while (running.load() < kChildren) std::this_thread::yield();
+      });
+    }
+    // Block the spawning worker until every child runs: the children can
+    // only have been stolen.
+    everyone.wait();
+  });
+  everyone.wait();
+  EXPECT_GE(executor.StealCount(), static_cast<uint64_t>(kChildren));
+}
+
+TEST(Executor, LocalHitsCountOwnDequePops) {
+  // A single-threaded pool cannot steal: a task spawning follow-up work
+  // pushes to its own deque and later pops it locally.
+  Executor executor(1);
+  std::atomic<int> ran{0};
+  std::promise<void> done;
+  executor.Submit([&executor, &ran, &done]() {
+    executor.Submit([&ran, &done]() {
+      ran.fetch_add(1);
+      done.set_value();
+    });
+  });
+  done.get_future().wait();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(executor.StealCount(), 0u);
+  EXPECT_GE(executor.LocalHitCount(), 1u);
+}
+
+TEST(Executor, ParallelForIsBoundedWhileInjectionQueueIsSaturated) {
+  // The starvation bug the old single-FIFO design had: ParallelFor helper
+  // tasks queued *behind* every pending ticket, so fan-out from a running
+  // job waited on unrelated work. Here the injection queue is saturated
+  // with tasks that block until the very end — under the old design the
+  // rendezvous below could never complete (the helper sat behind blocked
+  // tickets and the second chunk was never claimed); with helpers on the
+  // worker deques an idle worker steals past the pending tickets
+  // immediately. The ctest TIMEOUT property is the backstop.
+  Executor executor(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> fillers_ran{0};
+
+  // Occupy one worker with the fanning-out job; give it time to be picked
+  // up before the fillers are injected so the fillers sit strictly behind.
+  std::promise<void> job_started;
+  std::promise<size_t> fanout_done;
+  executor.Submit([&executor, &job_started, &fanout_done, gate]() {
+    job_started.set_value();
+    gate.wait();
+    // Rendezvous chunks: completing requires a second thread, which must
+    // steal the helper task rather than drain the injection queue.
+    std::atomic<int> started{0};
+    executor.ParallelFor(2, 1, [&started](size_t, size_t) {
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+    });
+    fanout_done.set_value(static_cast<size_t>(started.load()));
+  });
+  job_started.get_future().wait();
+
+  // Saturate the injection queue: every filler blocks on the same gate, so
+  // none of them can finish before the fan-out proves its latency bound.
+  constexpr int kFillers = 64;
+  for (int i = 0; i < kFillers; ++i) {
+    executor.Submit([&fillers_ran, gate]() {
+      gate.wait();
+      fillers_ran.fetch_add(1);
+    });
+  }
+  EXPECT_GE(executor.QueueDepth(), static_cast<size_t>(kFillers - 1));
+
+  release.set_value();
+  auto done = fanout_done.get_future();
+  EXPECT_EQ(done.get(), 2u);  // both chunks ran, concurrently
+  // Drain so the counters below are final.
+  while (fillers_ran.load() < kFillers) std::this_thread::yield();
+  EXPECT_GE(executor.StealCount(), 1u);
+}
+
+TEST(Executor, QueueDepthCountsInjectionAndWorkerDeques) {
+  Executor executor(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> spawned;
+  std::atomic<int> ran{0};
+
+  // The single worker parks inside a task after spawning 3 deque tasks.
+  executor.Submit([&executor, &ran, &spawned, gate]() {
+    for (int i = 0; i < 3; ++i) {
+      executor.Submit([&ran]() { ran.fetch_add(1); });
+    }
+    spawned.set_value();
+    gate.wait();
+  });
+  spawned.get_future().wait();
+  // 2 external submissions stay in the injection queue.
+  for (int i = 0; i < 2; ++i) {
+    executor.Submit([&ran]() { ran.fetch_add(1); });
+  }
+  // 3 on the worker's deque + 2 in the injection queue, one consistent sum.
+  EXPECT_EQ(executor.QueueDepth(), 5u);
+  EXPECT_EQ(executor.queued(), 5u);
+
+  release.set_value();
+  while (ran.load() < 5) std::this_thread::yield();
+  EXPECT_EQ(executor.QueueDepth(), 0u);
+}
+
+TEST(Executor, DeeplyNestedParallelForCoversEveryIndex) {
+  // Three levels of fan-out from inside pool tasks, at several pool sizes —
+  // the shape a batch ticket takes when the workforce matrix and the ADPaR
+  // alternatives both partition across the pool that runs the ticket.
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    Executor executor(threads);
+    constexpr size_t kOuter = 4, kMid = 8, kInner = 16;
+    std::vector<std::atomic<int>> touched(kOuter * kMid * kInner);
+    executor.ParallelFor(kOuter, 1, [&](size_t ob, size_t oe) {
+      for (size_t o = ob; o < oe; ++o) {
+        executor.ParallelFor(kMid, 1, [&, o](size_t mb, size_t me) {
+          for (size_t m = mb; m < me; ++m) {
+            executor.ParallelFor(kInner, 3, [&, o, m](size_t ib, size_t ie) {
+              for (size_t i = ib; i < ie; ++i) {
+                touched[(o * kMid + m) * kInner + i].fetch_add(1);
+              }
+            });
+          }
+        });
+      }
+    });
+    for (size_t i = 0; i < touched.size(); ++i) {
+      ASSERT_EQ(touched[i].load(), 1)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Executor, StealStressManyProducersManyFanouts) {
+  // External submitters and pool-side fan-out interleave: every task and
+  // every chunk must run exactly once regardless of which deque it rode.
+  Executor executor(4);
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 32;
+  constexpr size_t kFanout = 64;
+  std::atomic<size_t> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  std::atomic<int> tasks_done{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&executor, &sum, &tasks_done]() {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        executor.Submit([&executor, &sum, &tasks_done]() {
+          executor.ParallelFor(kFanout, 5, [&sum](size_t begin, size_t end) {
+            for (size_t j = begin; j < end; ++j) sum.fetch_add(j + 1);
+          });
+          tasks_done.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  while (tasks_done.load() < kProducers * kTasksPerProducer) {
+    std::this_thread::yield();
+  }
+  const size_t per_task = kFanout * (kFanout + 1) / 2;
+  EXPECT_EQ(sum.load(),
+            per_task * static_cast<size_t>(kProducers * kTasksPerProducer));
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/catalog.h"
@@ -322,6 +323,55 @@ TEST(Journal, RecordCancelledCanBeDisabled) {
   for (const wire::PairRecord& pair : trace->pairs) {
     EXPECT_TRUE(pair.status.ok());  // no cancelled records on disk
   }
+}
+
+TEST(Journal, StatsSnapshotsLandInTheTraceAndReplayIgnoresThem) {
+  const std::string path = TempPath("stats_snapshots");
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.execution.worker_threads = 1;
+  config.journal.path = path;
+  // A finished batch can leave one already-claimed ParallelFor helper in a
+  // deque for a beat after Wait() returns; poll the gauge to zero before
+  // snapshotting so the recorded queue_depth is deterministic.
+  const auto drained_snapshot = [](const Service& service) {
+    while (service.stats().queue_depth != 0) std::this_thread::yield();
+    return service.RecordStatsSnapshot();
+  };
+  {
+    auto service = Service::Create(Table1Catalog(), config);
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(service->SubmitBatch(Table1Batch()).ok());
+    ASSERT_TRUE(drained_snapshot(*service).ok());
+    ASSERT_TRUE(service->SubmitBatch(Table1Batch()).ok());
+    ASSERT_TRUE(drained_snapshot(*service).ok());
+  }
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+
+  // Two checkpoints interleaved with two pairs: the lifetime counters
+  // advance between them and the pool is drained at snapshot time (the
+  // sync submissions have completed), so queue_depth is deterministic.
+  ASSERT_EQ(trace->stats.size(), 2u);
+  EXPECT_EQ(trace->stats[0].batches, 1u);
+  EXPECT_EQ(trace->stats[1].batches, 2u);
+  EXPECT_EQ(trace->stats[0].queue_depth, 0u);
+  EXPECT_EQ(trace->stats[1].queue_depth, 0u);
+
+  // Checkpoints never disturb the replay contract: the pairs replay and
+  // bit-match exactly as they would without them.
+  ASSERT_EQ(trace->pairs.size(), 2u);
+  auto replayed = wire::ReplayTrace(*trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->replayed, 2u);
+  EXPECT_EQ(replayed->matched, 2u);
+}
+
+TEST(Journal, StatsSnapshotRequiresJournaling) {
+  auto service = Service::Create(Table1Catalog());
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service->RecordStatsSnapshot().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(Journal, ReplayRequiresConfigAndCatalog) {
