@@ -977,6 +977,12 @@ json::Value Encode(const api::ServiceConfig& config) {
   execution.Add("parallel_grain", config.execution.parallel_grain);
   obj.Add("execution", std::move(execution));
 
+  Value cache = Value::Object();
+  cache.Add("snapshot_capacity", config.cache.snapshot_capacity);
+  cache.Add("shards", config.cache.shards);
+  cache.Add("availability_quantum", config.cache.availability_quantum);
+  obj.Add("cache", std::move(cache));
+
   Value journal = Value::Object();
   journal.Add("path", config.journal.path);
   journal.Add("record_cancelled", config.journal.record_cancelled);
@@ -1030,6 +1036,15 @@ Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value) {
   STRATREC_RETURN_NOT_OK(GetSize(*execution, "parallel_grain",
                                  &config.execution.parallel_grain));
 
+  const Value* cache = value.Find("cache");
+  if (cache == nullptr) return MissingField("cache");
+  if (!cache->is_object()) return WrongType("cache", "an object");
+  STRATREC_RETURN_NOT_OK(GetSize(*cache, "snapshot_capacity",
+                                 &config.cache.snapshot_capacity));
+  STRATREC_RETURN_NOT_OK(GetSize(*cache, "shards", &config.cache.shards));
+  STRATREC_RETURN_NOT_OK(GetDouble(*cache, "availability_quantum",
+                                   &config.cache.availability_quantum));
+
   const Value* journal = value.Find("journal");
   if (journal == nullptr) return MissingField("journal");
   if (!journal->is_object()) return WrongType("journal", "an object");
@@ -1063,6 +1078,9 @@ json::Value Encode(const api::ServiceStats& stats) {
   obj.Add("active_workers", stats.active_workers);
   obj.Add("steals", stats.steals);
   obj.Add("local_hits", stats.local_hits);
+  obj.Add("cache_hits", stats.cache_hits);
+  obj.Add("cache_misses", stats.cache_misses);
+  obj.Add("index_build_nanos", stats.index_build_nanos);
   return obj;
 }
 
@@ -1083,6 +1101,11 @@ Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
       GetSize(value, "active_workers", &stats.active_workers));
   STRATREC_RETURN_NOT_OK(GetSize(value, "steals", &stats.steals));
   STRATREC_RETURN_NOT_OK(GetSize(value, "local_hits", &stats.local_hits));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "cache_hits", &stats.cache_hits));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "cache_misses", &stats.cache_misses));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "index_build_nanos", &stats.index_build_nanos));
   return stats;
 }
 

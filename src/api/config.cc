@@ -35,6 +35,19 @@ Status ValidateConfig(const ServiceConfig& config) {
         "execution.parallel_grain exceeds 2^53 and would not round-trip the "
         "wire codec");
   }
+  if (config.cache.shards == 0 || config.cache.shards > 256) {
+    return Status::InvalidArgument("cache.shards must lie in [1, 256]");
+  }
+  if (config.cache.snapshot_capacity > kMaxWireInteger) {
+    return Status::InvalidArgument(
+        "cache.snapshot_capacity exceeds 2^53 and would not round-trip the "
+        "wire codec");
+  }
+  if (!(config.cache.availability_quantum >= 0.0) ||
+      config.cache.availability_quantum > 1.0) {
+    return Status::InvalidArgument(
+        "cache.availability_quantum must lie in [0, 1]");
+  }
   return Status::OK();
 }
 

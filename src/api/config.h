@@ -60,6 +60,28 @@ struct ExecutionConfig {
   bool operator==(const ExecutionConfig&) const = default;
 };
 
+/// The availability-snapshot cache: per-W derived state (the estimated
+/// strategy-parameter block plus ADPaR's orderings/pruning tables, see
+/// src/core/catalog_index.h) is computed once per distinct availability and
+/// shared by every batch and sweep at that W. The cache is sharded (one
+/// mutex per shard) so concurrent lookups at different availabilities do
+/// not contend.
+struct CacheConfig {
+  /// Cached snapshots across all shards; least-recently-used entries are
+  /// evicted beyond this. 0 disables caching (every job that needs per-W
+  /// state rebuilds it).
+  size_t snapshot_capacity = 16;
+  /// Independently locked shards (>= 1).
+  size_t shards = 4;
+  /// When > 0, resolved availabilities are snapped to the nearest multiple
+  /// of this step *before the pipeline runs*, so nearby W values share one
+  /// snapshot (reports carry the quantized W — a documented precision /
+  /// hit-rate trade, off by default).
+  double availability_quantum = 0.0;
+
+  bool operator==(const CacheConfig&) const = default;
+};
+
 /// Record/replay journal of the service (src/common/journal.h). When
 /// enabled, the service appends one line-delimited JSON record per finished
 /// batch/sweep job — the (request, outcome) pair in wire-codec form — plus
@@ -91,6 +113,7 @@ struct ServiceConfig {
   BatchDefaults batch;
   StreamDefaults stream;
   ExecutionConfig execution;
+  CacheConfig cache;
   JournalConfig journal;
   /// Used whenever a request's availability spec is kDefault.
   AvailabilitySpec availability = AvailabilitySpec::Fixed(0.5);

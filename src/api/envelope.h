@@ -198,6 +198,16 @@ struct ServiceStats {
   /// means fan-out stayed cache-local on the worker that spawned it.
   size_t steals = 0;
   size_t local_hits = 0;
+  /// Availability-snapshot cache counters (lifetime): how often a job that
+  /// needed per-W derived state found it cached vs had to build it. A low
+  /// hit share on a repeated-availability workload means the cache is
+  /// undersized (or quantization too fine) — see ServiceConfig::cache.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Wall-clock nanoseconds spent building the catalog's SoA index at
+  /// Service::Create (core::CatalogIndex; a one-time cost every batch
+  /// amortizes).
+  size_t index_build_nanos = 0;
 
   bool operator==(const ServiceStats&) const = default;
 };

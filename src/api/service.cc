@@ -1,14 +1,19 @@
 #include "src/api/service.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <exception>
+#include <list>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/api/codec.h"
 #include "src/api/registry.h"
@@ -30,6 +35,8 @@ struct alignas(64) StatsStripe {
   std::atomic<uint64_t> stream_events{0};
   std::atomic<uint64_t> requests_processed{0};
   std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
 };
 
 class StripedStats {
@@ -53,6 +60,9 @@ class StripedStats {
       out.requests_processed +=
           stripe.requests_processed.load(std::memory_order_relaxed);
       out.cancelled += stripe.cancelled.load(std::memory_order_relaxed);
+      out.cache_hits += stripe.cache_hits.load(std::memory_order_relaxed);
+      out.cache_misses +=
+          stripe.cache_misses.load(std::memory_order_relaxed);
     }
     return out;
   }
@@ -61,6 +71,108 @@ class StripedStats {
   static constexpr size_t kStripes = 16;
   std::array<StatsStripe, kStripes> stripes_;
 };
+
+/// Sharded LRU of availability snapshots (core::AvailabilitySnapshot),
+/// keyed on the bit pattern of the (already quantized) availability. Every
+/// batch and sweep at one W shares a single snapshot, so the O(|S|)
+/// parameter estimation — and ADPaR's sorts/pruning tables — are paid once
+/// per distinct availability instead of once per job. Builds happen
+/// outside the shard lock; a racing duplicate build keeps the first
+/// inserted entry so callers converge on one shared block.
+class SnapshotCache {
+ public:
+  /// Shard count is clamped to the capacity so floor division keeps the
+  /// total resident snapshots <= snapshot_capacity (a snapshot at |S|=1M
+  /// is tens of MB; the bound is the point of the knob).
+  explicit SnapshotCache(const CacheConfig& config)
+      : capacity_(config.snapshot_capacity),
+        shards_(std::max<size_t>(
+            size_t{1},
+            std::min(config.shards, std::max<size_t>(size_t{1}, capacity_)))) {
+    per_shard_capacity_ = std::max<size_t>(1, capacity_ / shards_.size());
+  }
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The cached snapshot for `w`, or null on a miss (the caller builds and
+  /// offers it back via Insert).
+  std::shared_ptr<const core::AvailabilitySnapshot> Find(double w) {
+    if (!enabled()) return nullptr;
+    Shard& shard = ShardFor(w);
+    const uint64_t key = KeyFor(w);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) return nullptr;
+    // Move to the LRU front.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.position);
+    return it->second.snapshot;
+  }
+
+  /// Offers a freshly built snapshot; returns the canonical entry (the
+  /// existing one if another worker won the race).
+  std::shared_ptr<const core::AvailabilitySnapshot> Insert(
+      double w, std::shared_ptr<const core::AvailabilitySnapshot> snapshot) {
+    if (!enabled()) return snapshot;
+    Shard& shard = ShardFor(w);
+    const uint64_t key = KeyFor(w);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.position);
+      return it->second.snapshot;
+    }
+    shard.lru.push_front(key);
+    shard.entries.emplace(key,
+                          Entry{std::move(snapshot), shard.lru.begin()});
+    while (shard.entries.size() > per_shard_capacity_) {
+      shard.entries.erase(shard.lru.back());
+      shard.lru.pop_back();
+    }
+    return shard.entries.find(key)->second.snapshot;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::AvailabilitySnapshot> snapshot;
+    std::list<uint64_t>::iterator position;
+  };
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::list<uint64_t> lru;  ///< most-recent first
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+
+  static uint64_t KeyFor(double w) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(w));
+    std::memcpy(&bits, &w, sizeof(bits));
+    return bits;
+  }
+
+  Shard& ShardFor(double w) {
+    // splitmix64 finalizer: the exponent-heavy double bits spread poorly
+    // by themselves.
+    uint64_t x = KeyFor(w);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return shards_[x % shards_.size()];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+/// Snaps `w` onto the configured availability grid (no-op for quantum 0).
+/// Applied before the pipeline runs, so cache keys and reports agree.
+double QuantizeAvailability(double w, double quantum) {
+  if (quantum <= 0.0) return w;
+  const double snapped = std::round(w / quantum) * quantum;
+  return snapped < 0.0 ? 0.0 : (snapped > 1.0 ? 1.0 : snapped);
+}
 
 /// Shared state behind every Service handle and its sessions. No single
 /// service mutex: the named-model table is read-mostly behind a shared
@@ -77,6 +189,9 @@ struct ServiceState {
   std::unordered_map<std::string, core::AvailabilityModel> models;
   StripedStats stats;
 
+  /// Availability-keyed snapshot cache (ServiceConfig::cache).
+  SnapshotCache snapshots;
+
   /// Record/replay tap (null when JournalConfig::path is empty). Workers
   /// encode their own records and append under the writer's short file
   /// lock; declared before `executor` so it outlives the queue drain.
@@ -92,8 +207,26 @@ struct ServiceState {
                std::shared_ptr<JournalWriter> journal_in)
       : config(std::move(config_in)),
         stratrec(std::move(stratrec_in)),
+        snapshots(config.cache),
         journal(std::move(journal_in)),
-        executor(config.execution.worker_threads) {}
+        executor(config.execution.worker_threads) {
+    // Build the catalog's SoA index once, up front, partitioned across the
+    // fresh pool — every batch/sweep hot loop rides it from the first job.
+    stratrec.aggregator().index(&executor, config.execution.parallel_grain);
+  }
+
+  /// The shared per-W snapshot: cache hit, or build (outside any shard
+  /// lock) and insert. Counts hits/misses on the caller's stats stripe.
+  std::shared_ptr<const core::AvailabilitySnapshot> SnapshotFor(double w) {
+    if (auto cached = snapshots.Find(w)) {
+      stats.Local().cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+    stats.Local().cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto built = stratrec.aggregator().index().BuildSnapshot(
+        w, &executor, config.execution.parallel_grain);
+    return snapshots.Insert(w, std::move(built));
+  }
 
   /// Appends one already-encoded record, demoting I/O failures to an error
   /// log: a full disk must not fail the request whose work succeeded.
@@ -174,6 +307,10 @@ Result<BatchReport> ExecuteBatch(ServiceState* state,
   if (!solver.ok()) return solver.status();
   auto availability = state->Resolve(request.availability);
   if (!availability.ok()) return availability.status();
+  // The pipeline (and the report) run at the quantized W, so nearby
+  // availabilities share one cached snapshot when the knob is on.
+  const double w = internal::QuantizeAvailability(
+      *availability, state->config.cache.availability_quantum);
 
   core::StratRecOptions options;
   options.batch.objective = request.objective.value_or(defaults.objective);
@@ -190,21 +327,33 @@ Result<BatchReport> ExecuteBatch(ServiceState* state,
   options.batch_solver = std::move(*solver);
   if (options.recommend_alternatives) {
     // Only resolved when it will run, so an unknown adpar name cannot fail
-    // a batch that never invokes it.
-    auto adpar = AlgorithmRegistry::Global().FindAdpar(
-        request.adpar_solver.value_or(defaults.adpar_solver));
+    // a batch that never invokes it — and resolved before the O(|S|)
+    // snapshot build, so a typo'd name fails fast without touching the
+    // cache.
+    const std::string adpar_name =
+        request.adpar_solver.value_or(defaults.adpar_solver);
+    auto adpar = AlgorithmRegistry::Global().FindAdpar(adpar_name);
     if (!adpar.ok()) return adpar.status();
-    options.adpar_solver = std::move(*adpar);
+    // Only the alternatives leg reads per-W parameters, so only it fetches
+    // a snapshot; batch-only jobs skip the whole O(|S|) block.
+    options.snapshot = state->SnapshotFor(w);
+    // The built-in exact solver has a snapshot-riding overload (prebuilt
+    // orderings + skyline pruning, bit-identical results); leaving the
+    // solver unset makes StratRec pick it. Every other backend gets the
+    // registry entry as before. Dispatching on the name is sound because
+    // the registry refuses duplicate registrations — "exact" always means
+    // the built-in.
+    if (adpar_name != "exact") options.adpar_solver = std::move(*adpar);
   }
 
   auto result = state->stratrec.ProcessBatchAtAvailability(
-      request.requests, *availability, options);
+      request.requests, w, options);
   if (!result.ok()) return result.status();
 
   BatchReport report;
   report.request_id = id;
   report.algorithm = algorithm;
-  report.availability = *availability;
+  report.availability = w;
   report.result = std::move(*result);
   StatsStripe& stripe = state->stats.Local();
   stripe.batches.fetch_add(1, std::memory_order_relaxed);
@@ -221,24 +370,42 @@ Result<SweepReport> ExecuteSweep(ServiceState* state,
                                  const std::string& id) {
   auto availability = state->Resolve(request.availability);
   if (!availability.ok()) return availability.status();
+  const double w = internal::QuantizeAvailability(
+      *availability, state->config.cache.availability_quantum);
 
   std::vector<std::string> solvers = request.solvers;
   if (solvers.empty()) solvers.push_back(state->config.batch.adpar_solver);
+  // Validate every solver name before the (potentially O(|S|)) snapshot
+  // build, so a typo fails fast and touches neither the cache nor the
+  // index. A null slot marks the built-in exact solver, filled in below
+  // once the snapshot exists.
   std::vector<core::AdparSolverFn> solver_fns;
   solver_fns.reserve(solvers.size());
   for (const std::string& name : solvers) {
+    if (name == "exact") {
+      solver_fns.emplace_back();
+      continue;
+    }
     auto solver = AlgorithmRegistry::Global().FindAdpar(name);
     if (!solver.ok()) return solver.status();
     solver_fns.push_back(std::move(*solver));
   }
+  // The shared per-W block: every cell searches it, the report carries it.
+  auto snapshot = state->SnapshotFor(w);
+  for (core::AdparSolverFn& fn : solver_fns) {
+    if (fn) continue;
+    // The built-in exact solver rides the snapshot's prebuilt orderings
+    // and skyline pruning (bit-identical to the registry entry).
+    fn = [snapshot](const std::vector<core::ParamVector>&,
+                    const core::ParamVector& d, int k) {
+      return core::AdparExact(*snapshot, d, k);
+    };
+  }
 
   SweepReport report;
   report.request_id = id;
-  report.availability = *availability;
-  report.strategy_params.reserve(state->profiles().size());
-  for (const core::StrategyProfile& profile : state->profiles()) {
-    report.strategy_params.push_back(profile.EstimateParams(*availability));
-  }
+  report.availability = w;
+  report.strategy_params = snapshot->params();
 
   report.outcomes.resize(request.targets.size() * solvers.size());
   state->executor.ParallelFor(
@@ -427,6 +594,8 @@ ServiceStats Service::stats() const {
   out.active_workers = state_->executor.ActiveWorkers();
   out.steals = static_cast<size_t>(state_->executor.StealCount());
   out.local_hits = static_cast<size_t>(state_->executor.LocalHitCount());
+  out.index_build_nanos = static_cast<size_t>(
+      state_->stratrec.aggregator().index_build_nanos());
   return out;
 }
 

@@ -35,7 +35,9 @@ namespace stratrec {
 /// Format name carried by the header line of every journal file.
 inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// Version written by this build; readers reject other versions.
-inline constexpr int kJournalFormatVersion = 1;
+/// v2: the config record gained the ServiceConfig::cache block and stats
+/// records the cache_hits/cache_misses/index_build_nanos counters.
+inline constexpr int kJournalFormatVersion = 2;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.

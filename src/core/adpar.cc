@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "src/common/float_compare.h"
+#include "src/core/catalog_index.h"
 #include "src/geometry/k_smallest.h"
 
 namespace stratrec::core {
@@ -44,6 +46,112 @@ void FillTraceSteps(const std::vector<ParamVector>& strategies,
                    });
 }
 
+/// The two-level sweep over a candidate subset. `strategies` is the full
+/// parameter list; `by_cost` (ascending cost) and `by_quality_desc`
+/// (descending quality) are orderings over the candidate subset — the whole
+/// list for the classic entry point, the skyline-pruned subset for the
+/// index-accepting one. Both entry points funnel here so the float
+/// operations per evaluated candidate are literally the same, which is what
+/// keeps the indexed path bit-identical to the unindexed one.
+///
+/// Returns the best tight alternative, or +inf squared distance when no
+/// candidate covers k subset strategies.
+struct SweepBest {
+  double squared = std::numeric_limits<double>::infinity();
+  ParamVector alternative{};
+};
+
+SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
+                         const std::vector<size_t>& by_cost,
+                         const std::vector<size_t>& by_quality_desc,
+                         const ParamVector& request, size_t uk,
+                         AdparTrace* trace) {
+  // Candidate quality thresholds: the original bound plus every strictly
+  // weaker subset quality (tightness — Lemma 1/2), descending and deduped.
+  std::vector<double> quality_candidates = {request.quality};
+  quality_candidates.reserve(by_quality_desc.size() + 1);
+  for (size_t j : by_quality_desc) {
+    const double q = strategies[j].quality;
+    if (q >= request.quality) continue;
+    if (q != quality_candidates.back()) quality_candidates.push_back(q);
+  }
+
+  SweepBest best;
+  for (double q : quality_candidates) {
+    const double dq = q - request.quality;  // <= 0
+    const double qd2 = dq * dq;
+    // Candidates are sorted descending, so qd2 grows monotonically; once it
+    // alone exceeds the incumbent, no later candidate can win.
+    if (qd2 >= best.squared) break;
+
+    // Cost sweep over quality-eligible strategies in ascending cost order.
+    // A bounded max-heap yields the k-th smallest latency among admitted
+    // strategies — the tight latency threshold for the current cost bound.
+    geo::KSmallestTracker latencies(uk);
+    size_t cursor = 0;
+    auto admit_up_to = [&](double cost_bound) {
+      while (cursor < by_cost.size()) {
+        const ParamVector& s = strategies[by_cost[cursor]];
+        if (s.cost > cost_bound + kEps) break;
+        if (ApproxGe(s.quality, q)) latencies.Push(s.latency);
+        ++cursor;
+      }
+    };
+
+    // Candidate cost thresholds: the original bound plus every strictly
+    // larger subset cost (ascending; the sweep only ever relaxes).
+    std::vector<double> cost_candidates = {request.cost};
+    for (size_t j : by_cost) {
+      const ParamVector& s = strategies[j];
+      if (s.cost > request.cost && ApproxGe(s.quality, q)) {
+        cost_candidates.push_back(s.cost);
+      }
+    }
+
+    for (double c : cost_candidates) {
+      admit_up_to(c);
+      if (!latencies.Full()) continue;
+      const double tight_latency =
+          std::max(latencies.KthSmallest(), request.latency);
+      const double dc = c - request.cost;
+      const double dl = tight_latency - request.latency;
+      const double sq = qd2 + dc * dc + dl * dl;
+      if (trace != nullptr) {
+        trace->candidates.push_back({ParamVector{q, c, tight_latency}, sq});
+      }
+      if (sq < best.squared) {
+        best.squared = sq;
+        best.alternative = ParamVector{q, c, tight_latency};
+        // A zero-distance alternative (the request is capacity-blocked,
+        // not parameter-infeasible) is unbeatable: squared distances are
+        // non-negative and later candidates only replace on strict
+        // improvement, so cutting the sweep here cannot change the result.
+        // Trace-enabled calls keep sweeping — the paper-style trace records
+        // every evaluated candidate.
+        if (best.squared == 0.0 && trace == nullptr) return best;
+      }
+    }
+  }
+  return best;
+}
+
+Result<AdparResult> FinishSweep(const std::vector<ParamVector>& strategies,
+                                const SweepBest& best, int k) {
+  if (!std::isfinite(best.squared)) {
+    return Status::Internal("sweep found no covering alternative");
+  }
+  AdparResult result;
+  result.alternative = best.alternative;
+  result.squared_distance = best.squared;
+  result.distance = std::sqrt(best.squared);
+  // Covered strategies are always re-selected against the full list, so
+  // subset sweeps report the same deterministic k-set as the classic one.
+  auto covered = SelectCoveredStrategies(strategies, best.alternative, k);
+  if (!covered.ok()) return covered.status();
+  result.strategies = std::move(*covered);
+  return result;
+}
+
 }  // namespace
 
 Result<std::vector<size_t>> SelectCoveredStrategies(
@@ -78,91 +186,59 @@ Result<AdparResult> AdparExact(const std::vector<ParamVector>& strategies,
   if (trace != nullptr) FillTraceSteps(strategies, request, trace);
 
   const size_t n = strategies.size();
-  const auto uk = static_cast<size_t>(k);
 
-  // Strategies sorted by cost once; every per-quality sweep walks this order.
+  // Per-request orderings (ties by index, which never affects the outcome:
+  // equal keys contribute identical candidate values either way). The
+  // index-accepting overload serves these from the availability snapshot.
   std::vector<size_t> by_cost(n);
-  for (size_t j = 0; j < n; ++j) by_cost[j] = j;
+  std::iota(by_cost.begin(), by_cost.end(), size_t{0});
   std::sort(by_cost.begin(), by_cost.end(), [&](size_t a, size_t b) {
-    return strategies[a].cost < strategies[b].cost;
+    if (strategies[a].cost != strategies[b].cost) {
+      return strategies[a].cost < strategies[b].cost;
+    }
+    return a < b;
   });
+  std::vector<size_t> by_quality_desc(n);
+  std::iota(by_quality_desc.begin(), by_quality_desc.end(), size_t{0});
+  std::sort(by_quality_desc.begin(), by_quality_desc.end(),
+            [&](size_t a, size_t b) {
+              if (strategies[a].quality != strategies[b].quality) {
+                return strategies[a].quality > strategies[b].quality;
+              }
+              return a < b;
+            });
 
-  // Candidate quality thresholds: the original bound plus every strictly
-  // weaker strategy quality (tightness — Lemma 1/2).
-  std::vector<double> quality_candidates = {request.quality};
-  for (const ParamVector& s : strategies) {
-    if (s.quality < request.quality) quality_candidates.push_back(s.quality);
+  const SweepBest best =
+      SweepOrderings(strategies, by_cost, by_quality_desc, request,
+                     static_cast<size_t>(k), trace);
+  return FinishSweep(strategies, best, k);
+}
+
+Result<AdparResult> AdparExact(const AvailabilitySnapshot& snapshot,
+                               const ParamVector& request, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const std::vector<ParamVector>& strategies = snapshot.params();
+  if (strategies.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer strategies than k");
   }
-  std::sort(quality_candidates.begin(), quality_candidates.end(),
-            std::greater<>());
-  quality_candidates.erase(
-      std::unique(quality_candidates.begin(), quality_candidates.end()),
-      quality_candidates.end());
+  const AdparOrderings& orderings = snapshot.orderings();
 
-  double best_sq = std::numeric_limits<double>::infinity();
-  ParamVector best{};
+  // Candidate pruning: a strategy dominated (in relaxation space) by >= k
+  // others can be swapped out of any covering k-subset for a dominator
+  // without increasing the tight alternative's distance (skyline.h), so the
+  // sweep may skip it. The per-k filtered orderings are computed once and
+  // cached on the snapshot; null means pruning is a no-op for this k.
+  const auto pruned = snapshot.PrunedFor(k);
+  const std::vector<size_t>& by_cost =
+      pruned != nullptr ? pruned->by_cost : orderings.by_cost;
+  const std::vector<size_t>& by_quality_desc =
+      pruned != nullptr ? pruned->by_quality_desc
+                        : orderings.by_quality_desc;
 
-  for (double q : quality_candidates) {
-    const double dq = q - request.quality;  // <= 0
-    const double qd2 = dq * dq;
-    // Candidates are sorted descending, so qd2 grows monotonically; once it
-    // alone exceeds the incumbent, no later candidate can win.
-    if (qd2 >= best_sq) break;
-
-    // Cost sweep over quality-eligible strategies in ascending cost order.
-    // A bounded max-heap yields the k-th smallest latency among admitted
-    // strategies — the tight latency threshold for the current cost bound.
-    geo::KSmallestTracker latencies(uk);
-    size_t cursor = 0;
-    auto admit_up_to = [&](double cost_bound) {
-      while (cursor < n) {
-        const ParamVector& s = strategies[by_cost[cursor]];
-        if (s.cost > cost_bound + kEps) break;
-        if (ApproxGe(s.quality, q)) latencies.Push(s.latency);
-        ++cursor;
-      }
-    };
-
-    // Candidate cost thresholds: the original bound plus every strictly
-    // larger strategy cost (ascending; the sweep only ever relaxes).
-    std::vector<double> cost_candidates = {request.cost};
-    for (size_t j : by_cost) {
-      const ParamVector& s = strategies[j];
-      if (s.cost > request.cost && ApproxGe(s.quality, q)) {
-        cost_candidates.push_back(s.cost);
-      }
-    }
-
-    for (double c : cost_candidates) {
-      admit_up_to(c);
-      if (!latencies.Full()) continue;
-      const double tight_latency =
-          std::max(latencies.KthSmallest(), request.latency);
-      const double dc = c - request.cost;
-      const double dl = tight_latency - request.latency;
-      const double sq = qd2 + dc * dc + dl * dl;
-      if (trace != nullptr) {
-        trace->candidates.push_back({ParamVector{q, c, tight_latency}, sq});
-      }
-      if (sq < best_sq) {
-        best_sq = sq;
-        best = ParamVector{q, c, tight_latency};
-      }
-    }
-  }
-
-  if (!std::isfinite(best_sq)) {
-    return Status::Internal("sweep found no covering alternative");
-  }
-
-  AdparResult result;
-  result.alternative = best;
-  result.squared_distance = best_sq;
-  result.distance = std::sqrt(best_sq);
-  auto covered = SelectCoveredStrategies(strategies, best, k);
-  if (!covered.ok()) return covered.status();
-  result.strategies = std::move(*covered);
-  return result;
+  const SweepBest best =
+      SweepOrderings(strategies, by_cost, by_quality_desc, request,
+                     static_cast<size_t>(k), /*trace=*/nullptr);
+  return FinishSweep(strategies, best, k);
 }
 
 }  // namespace stratrec::core

@@ -36,22 +36,74 @@ Result<AggregatorReport> Aggregator::RunAtAvailability(
 Result<AggregatorReport> Aggregator::RunAtAvailability(
     const std::vector<DeploymentRequest>& requests, double availability,
     const BatchOptions& options, const BatchSolverFn& solver) const {
+  return RunAtAvailability(requests, availability, options, solver,
+                           /*materialize_params=*/true, /*snapshot=*/nullptr);
+}
+
+Result<AggregatorReport> Aggregator::RunAtAvailability(
+    const std::vector<DeploymentRequest>& requests, double availability,
+    const BatchOptions& options, const BatchSolverFn& solver,
+    bool materialize_params,
+    const std::shared_ptr<const AvailabilitySnapshot>& snapshot) const {
   if (availability < 0.0 || availability > 1.0) {
     return Status::InvalidArgument("availability must lie in [0, 1]");
   }
   if (!solver) {
     return Status::InvalidArgument("batch solver must be non-null");
   }
+  if (snapshot != nullptr && (snapshot->availability() != availability ||
+                              snapshot->size() != profiles_.size())) {
+    return Status::InvalidArgument(
+        "availability snapshot does not match this run (wrong W or catalog)");
+  }
+
+  BatchOptions run_options = options;
+  if (run_options.use_catalog_index && run_options.catalog_index == nullptr) {
+    run_options.catalog_index = &index(options.executor, options.parallel_grain);
+  }
+
   AggregatorReport report;
   report.availability = availability;
-  report.strategy_params.reserve(profiles_.size());
-  for (const StrategyProfile& profile : profiles_) {
-    report.strategy_params.push_back(profile.EstimateParams(availability));
+  if (materialize_params) {
+    if (snapshot != nullptr) {
+      // The shared per-W block; one memcpy instead of |S| estimations.
+      report.strategy_params = snapshot->params();
+    } else if (run_options.catalog_index != nullptr) {
+      run_options.catalog_index->EstimateParamsInto(
+          availability, &report.strategy_params, options.executor,
+          options.parallel_grain);
+    } else {
+      report.strategy_params.reserve(profiles_.size());
+      for (const StrategyProfile& profile : profiles_) {
+        report.strategy_params.push_back(profile.EstimateParams(availability));
+      }
+    }
   }
-  auto batch = solver(requests, profiles_, availability, options);
+  auto batch = solver(requests, profiles_, availability, run_options);
   if (!batch.ok()) return batch.status();
   report.batch = std::move(*batch);
   return report;
+}
+
+const CatalogIndex& Aggregator::index(Executor* executor, size_t grain) const {
+  std::call_once(lazy_index_->once, [&] {
+    lazy_index_->index = CatalogIndex::Build(profiles_, executor, grain);
+    lazy_index_->build_nanos.store(lazy_index_->index.build_nanos(),
+                                   std::memory_order_relaxed);
+  });
+  return lazy_index_->index;
+}
+
+uint64_t Aggregator::index_build_nanos() const {
+  return lazy_index_->build_nanos.load(std::memory_order_relaxed);
+}
+
+Result<std::shared_ptr<const AvailabilitySnapshot>> Aggregator::BuildSnapshot(
+    double availability, Executor* executor, size_t grain) const {
+  if (availability < 0.0 || availability > 1.0) {
+    return Status::InvalidArgument("availability must lie in [0, 1]");
+  }
+  return index(executor, grain).BuildSnapshot(availability, executor, grain);
 }
 
 }  // namespace stratrec::core

@@ -72,8 +72,13 @@ Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
     return Status::InvalidArgument("available workforce must be >= 0");
   }
   const WorkforceMatrix matrix =
-      WorkforceMatrix::Compute(requests, profiles, options.policy,
-                               options.executor, options.parallel_grain);
+      options.use_catalog_index && options.catalog_index != nullptr
+          ? WorkforceMatrix::Compute(requests, *options.catalog_index,
+                                     options.policy, options.executor,
+                                     options.parallel_grain)
+          : WorkforceMatrix::Compute(requests, profiles, options.policy,
+                                     options.executor,
+                                     options.parallel_grain);
 
   BatchResult result;
   auto items = PrepareItems(requests, matrix, options, &result.outcomes);

@@ -19,6 +19,8 @@
 
 namespace stratrec::core {
 
+class CatalogIndex;
+
 /// Platform-centric optimization goal F (Section 2.3, Equation 2).
 enum class Objective { kThroughput, kPayoff };
 
@@ -34,6 +36,14 @@ struct BatchOptions {
   Executor* executor = nullptr;
   /// Minimum work items per chunk when `executor` is set.
   size_t parallel_grain = 4096;
+  /// Ride the catalog's SoA CatalogIndex in the built-in solvers' hot
+  /// loops. Results are bit-identical either way; off is the reference
+  /// path bench/catalog_index.cc compares against.
+  bool use_catalog_index = true;
+  /// The index itself, set by Aggregator::RunAtAvailability when
+  /// `use_catalog_index` is on (not owned). Solvers fall back to the
+  /// profile list when null.
+  const CatalogIndex* catalog_index = nullptr;
 };
 
 /// Per-request outcome of a batch run.

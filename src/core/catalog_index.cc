@@ -1,0 +1,201 @@
+#include "src/core/catalog_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "src/core/skyline.h"
+
+namespace stratrec::core {
+
+const AdparOrderings& AvailabilitySnapshot::orderings() const {
+  std::call_once(orderings_once_, [this] {
+    const std::vector<ParamVector>& params = params_;
+    const size_t n = params.size();
+    AdparOrderings& out = orderings_;
+
+    out.by_cost.resize(n);
+    std::iota(out.by_cost.begin(), out.by_cost.end(), size_t{0});
+    std::sort(out.by_cost.begin(), out.by_cost.end(),
+              [&](size_t a, size_t b) {
+                if (params[a].cost != params[b].cost) {
+                  return params[a].cost < params[b].cost;
+                }
+                return a < b;
+              });
+
+    out.by_quality_desc.resize(n);
+    std::iota(out.by_quality_desc.begin(), out.by_quality_desc.end(),
+              size_t{0});
+    std::sort(out.by_quality_desc.begin(), out.by_quality_desc.end(),
+              [&](size_t a, size_t b) {
+                if (params[a].quality != params[b].quality) {
+                  return params[a].quality > params[b].quality;
+                }
+                return a < b;
+              });
+
+    // Skyline via a relaxation-space coordinate-sum sweep: a dominator's
+    // sum is strictly smaller, and domination is transitive, so checking
+    // each point against the skyline built so far is exhaustive. Both the
+    // membership test and the dominator counting below probe at most
+    // kMaxSkylineProbe members, which bounds the build at O(n * probe)
+    // even on adversarial (anti-correlated) catalogs whose true skyline is
+    // a large fraction of the input. The cap can only make the recorded
+    // "skyline" a superset of the true one and the dominator counts an
+    // undercount — both directions are safe for the pruning (fewer
+    // strategies skipped, never a wrong skip).
+    constexpr size_t kMaxSkylineProbe = 1024;
+    std::vector<size_t> by_sum(n);
+    std::iota(by_sum.begin(), by_sum.end(), size_t{0});
+    auto relax_sum = [&](size_t j) {
+      return (1.0 - params[j].quality) + params[j].cost + params[j].latency;
+    };
+    std::sort(by_sum.begin(), by_sum.end(), [&](size_t a, size_t b) {
+      if (relax_sum(a) != relax_sum(b)) return relax_sum(a) < relax_sum(b);
+      return a < b;
+    });
+    out.skyline.clear();
+    std::vector<double> skyline_sums;  // ascending, parallel to out.skyline
+    for (size_t j : by_sum) {
+      bool dominated = false;
+      const size_t probe = std::min(out.skyline.size(), kMaxSkylineProbe);
+      for (size_t i = 0; i < probe; ++i) {
+        if (Dominates(params[out.skyline[i]], params[j])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        out.skyline.push_back(j);
+        skyline_sums.push_back(relax_sum(j));
+      }
+    }
+
+    // Capped dominator counts against the skyline only: a strict lower
+    // bound of the true dominance count, which is all the k-skyband safety
+    // argument needs. A dominator's coordinate sum is strictly smaller and
+    // skyline_sums is ascending, so the scan stops at the first member
+    // whose sum reaches the probed point's.
+    out.skyline_dominators.assign(n, 0);
+    const size_t probe_limit = std::min(out.skyline.size(), kMaxSkylineProbe);
+    for (size_t j = 0; j < n; ++j) {
+      const double sum_j = relax_sum(j);
+      uint16_t count = 0;
+      for (size_t i = 0; i < probe_limit; ++i) {
+        if (skyline_sums[i] >= sum_j) break;
+        if (Dominates(params[out.skyline[i]], params[j])) {
+          if (++count >= kSkylineDominatorCap) break;
+        }
+      }
+      out.skyline_dominators[j] = count;
+    }
+  });
+  return orderings_;
+}
+
+std::shared_ptr<const PrunedOrderings> AvailabilitySnapshot::PrunedFor(
+    int k) const {
+  if (k < 1 || static_cast<size_t>(k) > kSkylineDominatorCap) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pruned_mutex_);
+    auto it = pruned_.find(k);
+    if (it != pruned_.end()) return it->second;
+  }
+  // Build outside the lock; a racing duplicate build is benign (first
+  // insert wins, the loser's copy is dropped).
+  const AdparOrderings& full = orderings();
+  const std::vector<uint16_t>& dominators = full.skyline_dominators;
+  auto keep = [&](size_t j) {
+    return dominators[j] < static_cast<uint16_t>(k);
+  };
+  std::shared_ptr<PrunedOrderings> built;
+  std::vector<size_t> by_cost;
+  by_cost.reserve(full.by_cost.size());
+  for (size_t j : full.by_cost) {
+    if (keep(j)) by_cost.push_back(j);
+  }
+  // The k-skyband always retains at least k strategies (the k smallest
+  // relaxation-space sums have fewer than k dominators each), so the
+  // pruned sweep stays feasible whenever the full one is; the guard is
+  // belt and braces. No survivors removed -> the full orderings are
+  // already the candidate set.
+  if (by_cost.size() >= static_cast<size_t>(k) &&
+      by_cost.size() < full.by_cost.size()) {
+    built = std::make_shared<PrunedOrderings>();
+    built->by_cost = std::move(by_cost);
+    built->by_quality_desc.reserve(built->by_cost.size());
+    for (size_t j : full.by_quality_desc) {
+      if (keep(j)) built->by_quality_desc.push_back(j);
+    }
+  }
+  std::lock_guard<std::mutex> lock(pruned_mutex_);
+  return pruned_.emplace(k, std::move(built)).first->second;
+}
+
+CatalogIndex CatalogIndex::Build(const std::vector<StrategyProfile>& profiles,
+                                 Executor* executor, size_t grain) {
+  const auto start = std::chrono::steady_clock::now();
+  CatalogIndex index;
+  index.size_ = profiles.size();
+  for (size_t axis = 0; axis < 3; ++axis) {
+    index.alpha_[axis].resize(profiles.size());
+    index.beta_[axis].resize(profiles.size());
+  }
+  auto fill = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      const StrategyProfile& p = profiles[j];
+      index.alpha_[0][j] = p.quality.alpha;
+      index.beta_[0][j] = p.quality.beta;
+      index.alpha_[1][j] = p.cost.alpha;
+      index.beta_[1][j] = p.cost.beta;
+      index.alpha_[2][j] = p.latency.alpha;
+      index.beta_[2][j] = p.latency.beta;
+    }
+  };
+  if (executor != nullptr) {
+    executor->ParallelFor(profiles.size(), grain, fill);
+  } else {
+    fill(0, profiles.size());
+  }
+  index.build_nanos_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return index;
+}
+
+void CatalogIndex::EstimateParamsInto(double w, std::vector<ParamVector>* out,
+                                      Executor* executor, size_t grain) const {
+  out->resize(size_);
+  const double* qa = alpha_[0].data();
+  const double* qb = beta_[0].data();
+  const double* ca = alpha_[1].data();
+  const double* cb = beta_[1].data();
+  const double* la = alpha_[2].data();
+  const double* lb = beta_[2].data();
+  ParamVector* dst = out->data();
+  auto fill = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      dst[j] = ParamVector{ClampUnit(qa[j] * w + qb[j]),
+                           ClampUnit(ca[j] * w + cb[j]),
+                           ClampUnit(la[j] * w + lb[j])};
+    }
+  };
+  if (executor != nullptr) {
+    executor->ParallelFor(size_, grain, fill);
+  } else {
+    fill(0, size_);
+  }
+}
+
+std::shared_ptr<const AvailabilitySnapshot> CatalogIndex::BuildSnapshot(
+    double w, Executor* executor, size_t grain) const {
+  auto snapshot =
+      std::shared_ptr<AvailabilitySnapshot>(new AvailabilitySnapshot());
+  snapshot->availability_ = w;
+  EstimateParamsInto(w, &snapshot->params_, executor, grain);
+  return snapshot;
+}
+
+}  // namespace stratrec::core

@@ -27,21 +27,37 @@ Result<StratRecReport> StratRec::ProcessBatch(
 Result<StratRecReport> StratRec::ProcessBatchAtAvailability(
     const std::vector<DeploymentRequest>& requests, double availability,
     const StratRecOptions& options) const {
+  // The O(|S|) parameter block is only materialized when something reads
+  // it: the report's alternatives refer into it, or the caller asked.
+  const bool materialize =
+      options.materialize_params || options.recommend_alternatives;
   auto report = aggregator_.RunAtAvailability(
       requests, availability, options.batch,
       options.batch_solver ? options.batch_solver
-                           : SolverForAlgorithm(options.algorithm));
+                           : SolverForAlgorithm(options.algorithm),
+      materialize, options.snapshot);
   if (!report.ok()) return report.status();
 
   StratRecReport out;
   out.aggregator = std::move(*report);
   if (!options.recommend_alternatives) return out;
 
-  const AdparSolverFn& adpar =
+  // Default solver: the snapshot-riding AdparExact when a snapshot is
+  // available (prebuilt orderings + skyline pruning, bit-identical
+  // results), the classic per-request one otherwise.
+  const AvailabilitySnapshot* snapshot = options.snapshot.get();
+  const AdparSolverFn adpar =
       options.adpar_solver
           ? options.adpar_solver
-          : [](const std::vector<ParamVector>& params, const ParamVector& d,
-               int k) { return AdparExact(params, d, k, nullptr); };
+          : (snapshot != nullptr
+                 ? AdparSolverFn([snapshot](const std::vector<ParamVector>&,
+                                            const ParamVector& d, int k) {
+                     return AdparExact(*snapshot, d, k);
+                   })
+                 : AdparSolverFn([](const std::vector<ParamVector>& params,
+                                    const ParamVector& d, int k) {
+                     return AdparExact(params, d, k, nullptr);
+                   }));
 
   // Unsatisfied requests are forwarded to ADPaR (Section 2.2), against the
   // concrete strategy parameters estimated at W. Each solve is independent,
@@ -49,13 +65,16 @@ Result<StratRecReport> StratRec::ProcessBatchAtAvailability(
   // land in a per-request slot and are folded back in request order, keeping
   // the report identical to the serial path.
   const std::vector<size_t>& unsatisfied = out.aggregator.batch.unsatisfied;
+  const std::vector<ParamVector>& params_at_w =
+      snapshot != nullptr ? snapshot->params()
+                          : out.aggregator.strategy_params;
   std::vector<Result<AdparResult>> solved(
       unsatisfied.size(), Result<AdparResult>(Status::Internal("unset")));
   auto solve = [&](size_t begin, size_t end) {
     for (size_t u = begin; u < end; ++u) {
       const size_t index = unsatisfied[u];
-      solved[u] = adpar(out.aggregator.strategy_params,
-                        requests[index].thresholds, requests[index].k);
+      solved[u] = adpar(params_at_w, requests[index].thresholds,
+                        requests[index].k);
     }
   };
   if (options.batch.executor != nullptr) {

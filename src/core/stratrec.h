@@ -26,6 +26,19 @@ struct StratRecOptions {
   /// AdparExact for alternative recommendation.
   BatchSolverFn batch_solver;
   AdparSolverFn adpar_solver;
+  /// Force report.strategy_params even when nothing in the run reads them.
+  /// By default the O(|S|) block is materialized only when
+  /// `recommend_alternatives` is on (the alternatives refer into it);
+  /// batch-only runs skip it entirely.
+  bool materialize_params = false;
+  /// Reuse of per-availability state across batches: when set (and built
+  /// for this catalog at exactly the run's W), strategy parameters come
+  /// from the snapshot's shared block, and — unless `adpar_solver`
+  /// overrides it — unsatisfied requests are solved by the index-accepting
+  /// AdparExact overload, which serves its sorts and candidate pruning
+  /// from the snapshot. The Service facade passes its cached snapshot
+  /// here; results are bit-identical with or without one.
+  std::shared_ptr<const AvailabilitySnapshot> snapshot;
 };
 
 /// ADPaR's output for one unsatisfied request.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/float_compare.h"
+#include "src/core/catalog_index.h"
 
 namespace stratrec::core {
 namespace {
@@ -110,11 +111,41 @@ WorkforceMatrix WorkforceMatrix::Compute(
   return matrix;
 }
 
+WorkforceMatrix WorkforceMatrix::Compute(
+    const std::vector<DeploymentRequest>& requests, const CatalogIndex& index,
+    WorkforcePolicy policy, Executor* executor, size_t grain) {
+  WorkforceMatrix matrix(requests.size(), index.size());
+  const size_t cols = matrix.cols_;
+  const double* qa = index.alphas(ParamAxis::kQuality).data();
+  const double* qb = index.betas(ParamAxis::kQuality).data();
+  const double* ca = index.alphas(ParamAxis::kCost).data();
+  const double* cb = index.betas(ParamAxis::kCost).data();
+  const double* la = index.alphas(ParamAxis::kLatency).data();
+  const double* lb = index.betas(ParamAxis::kLatency).data();
+  auto fill = [&](size_t begin, size_t end) {
+    for (size_t cell = begin; cell < end; ++cell) {
+      const size_t j = cell % cols;
+      const StrategyProfile profile{
+          {qa[j], qb[j]}, {ca[j], cb[j]}, {la[j], lb[j]}};
+      matrix.cells_[cell] = ComputeWorkforceCell(
+          profile, requests[cell / cols].thresholds, policy);
+    }
+  };
+  const size_t total = matrix.rows_ * cols;
+  if (executor != nullptr) {
+    executor->ParallelFor(total, grain, fill);
+  } else {
+    fill(0, total);
+  }
+  return matrix;
+}
+
 Result<std::vector<size_t>> WorkforceMatrix::KBestStrategies(size_t request,
                                                              int k) const {
   if (request >= rows_) return Status::OutOfRange("request index");
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   std::vector<size_t> feasible;
+  feasible.reserve(cols_);
   for (size_t j = 0; j < cols_; ++j) {
     if (At(request, j).feasible) feasible.push_back(j);
   }

@@ -19,6 +19,8 @@
 
 namespace stratrec::core {
 
+class CatalogIndex;
+
 /// How w_ij is derived from the three per-parameter equality solutions.
 ///
 /// The default is kMinimalWorkforce: the least workforce satisfying every
@@ -74,6 +76,16 @@ class WorkforceMatrix {
   static WorkforceMatrix Compute(
       const std::vector<DeploymentRequest>& requests,
       const std::vector<StrategyProfile>& profiles,
+      WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce,
+      Executor* executor = nullptr, size_t grain = 4096);
+
+  /// Same matrix filled from a CatalogIndex's SoA coefficient arrays
+  /// instead of per-profile structs: each cell reads six flat doubles, so
+  /// the inner loop streams contiguous memory. Bit-identical to the
+  /// profile overload (property-tested in tests/catalog_index_test.cc).
+  static WorkforceMatrix Compute(
+      const std::vector<DeploymentRequest>& requests,
+      const CatalogIndex& index,
       WorkforcePolicy policy = WorkforcePolicy::kMinimalWorkforce,
       Executor* executor = nullptr, size_t grain = 4096);
 

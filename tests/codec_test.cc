@@ -247,6 +247,11 @@ api::ServiceConfig RandomConfig(Rng& rng) {
   config.execution.worker_threads = static_cast<size_t>(rng.UniformInt(0, 64));
   config.execution.parallel_grain =
       static_cast<size_t>(rng.UniformInt(1, 10000));
+  config.cache.snapshot_capacity =
+      static_cast<size_t>(rng.UniformInt(0, 128));
+  config.cache.shards = static_cast<size_t>(rng.UniformInt(1, 16));
+  config.cache.availability_quantum =
+      rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.0, 1.0);
   config.journal.path = RandomString(rng);
   config.journal.record_cancelled = rng.Bernoulli(0.5);
   config.journal.flush_every_record = rng.Bernoulli(0.5);
@@ -266,6 +271,9 @@ api::ServiceStats RandomServiceStats(Rng& rng) {
   stats.active_workers = static_cast<size_t>(rng.UniformInt(0, 64));
   stats.steals = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.local_hits = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.cache_hits = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.cache_misses = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.index_build_nanos = static_cast<size_t>(rng.UniformInt(0, 1 << 30));
   return stats;
 }
 
@@ -400,11 +408,15 @@ TEST(Codec, FieldNamesAreStable) {
   stats.active_workers = 8;
   stats.steals = 9;
   stats.local_hits = 10;
+  stats.cache_hits = 11;
+  stats.cache_misses = 12;
+  stats.index_build_nanos = 13;
   EXPECT_EQ(json::Dump(Encode(stats)),
             "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
             "\"stream_events\":4,\"requests_processed\":5,\"cancelled\":6,"
             "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
-            "\"local_hits\":10}");
+            "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
+            "\"index_build_nanos\":13}");
 }
 
 TEST(Codec, StatsRecordDecodesIntoTheTrace) {

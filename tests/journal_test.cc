@@ -94,7 +94,9 @@ TEST(Journal, ReaderValidatesHeaderAndDropsTruncatedTail) {
   }
   {  // A crash-truncated final line (no '\n') is dropped, not an error.
     FILE* f = fopen(path.c_str(), "wb");
-    fputs("{\"format\":\"stratrec-journal\",\"version\":1}\nwhole\ntorn", f);
+    const std::string header = "{\"format\":\"stratrec-journal\",\"version\":" +
+                               std::to_string(kJournalFormatVersion) + "}";
+    fputs((header + "\nwhole\ntorn").c_str(), f);
     fclose(f);
     auto records = JournalReader::ReadRecords(path);
     ASSERT_TRUE(records.ok());

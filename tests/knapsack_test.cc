@@ -82,6 +82,54 @@ TEST(Knapsack, BruteForceGuardsSize) {
   EXPECT_TRUE(BruteForceKnapsack(many, 1.0, /*max_items=*/26).ok());
 }
 
+// Reference oracle for the Gray-code incremental enumeration: the original
+// ascending-mask scan with per-mask from-scratch sums.
+std::vector<KnapsackItem> NaiveBruteForce(const std::vector<KnapsackItem>& items,
+                                          double capacity) {
+  const size_t n = items.size();
+  uint64_t best_mask = 0;
+  double best_value = 0.0;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    double weight = 0.0, value = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        weight += items[i].weight;
+        value += items[i].value;
+      }
+    }
+    if (weight > capacity + 1e-9) continue;
+    if (value > best_value) {
+      best_value = value;
+      best_mask = mask;
+    }
+  }
+  std::vector<KnapsackItem> chosen;
+  for (size_t i = 0; i < n; ++i) {
+    if (best_mask & (1ull << i)) chosen.push_back(items[i]);
+  }
+  return chosen;
+}
+
+TEST(Knapsack, GrayCodeEnumerationMatchesNaiveScan) {
+  Rng rng(0x6EA7C0DEull);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(0, 12));
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i) {
+      items.push_back(Item(static_cast<size_t>(i), rng.Uniform(0.0, 0.6),
+                           rng.Uniform(0.0, 1.0)));
+    }
+    const double capacity = rng.Uniform(0.0, 1.5);
+    auto gray = BruteForceKnapsack(items, capacity);
+    ASSERT_TRUE(gray.ok());
+    const auto naive = NaiveBruteForce(items, capacity);
+    ASSERT_EQ(gray->size(), naive.size()) << "trial " << trial;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ((*gray)[i].index, naive[i].index) << "trial " << trial;
+    }
+  }
+}
+
 class KnapsackPropertyTest
     : public testing::TestWithParam<std::tuple<int, uint64_t>> {};
 

@@ -166,7 +166,7 @@ TEST_F(WorkforceMatrixTest, BoundsChecking) {
 
 TEST(WorkforceMatrixEdge, EmptyInputs) {
   const auto matrix = WorkforceMatrix::Compute(
-      {}, {}, WorkforcePolicy::kMinimalWorkforce);
+      {}, std::vector<StrategyProfile>{}, WorkforcePolicy::kMinimalWorkforce);
   EXPECT_EQ(matrix.num_requests(), 0u);
   EXPECT_EQ(matrix.num_strategies(), 0u);
 }
