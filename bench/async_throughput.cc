@@ -38,6 +38,11 @@ struct RunResult {
   // popped from the owner's own.
   size_t steals = 0;
   size_t local_hits = 0;
+  // Admission counters. A bare Service admits everything, so these stay 0
+  // here; the columns exist so this table and serving_load's read alike,
+  // and so a regression that makes the service shed load is loud.
+  size_t rejected = 0;
+  size_t retry_hints = 0;
 };
 
 /// Counter snapshot taken only once the pool is dry: already-claimed
@@ -132,18 +137,23 @@ int main(int argc, char** argv) {
     const api::ServiceStats stats = DrainedStats(*service);
     run.steals = stats.steals - warmup.steals;
     run.local_hits = stats.local_hits - warmup.local_hits;
+    run.rejected = stats.rejected_requests;
+    run.retry_hints = stats.retry_after_hints;
     results.push_back(run);
   }
 
   stratrec::AsciiTable table({"threads", "batches", "seconds", "requests/sec",
-                              "speedup vs 1", "steals", "local hits"});
+                              "speedup vs 1", "steals", "local hits",
+                              "rejected", "retry hints"});
   for (const RunResult& run : results) {
     table.AddRow({std::to_string(run.threads), std::to_string(run.batches),
                   stratrec::FormatDouble(run.seconds, 3),
                   stratrec::FormatDouble(run.requests_per_sec, 1),
                   stratrec::FormatDouble(run.speedup, 2) + "x",
                   std::to_string(run.steals),
-                  std::to_string(run.local_hits)});
+                  std::to_string(run.local_hits),
+                  std::to_string(run.rejected),
+                  std::to_string(run.retry_hints)});
   }
   table.Print();
 
@@ -164,7 +174,10 @@ int main(int argc, char** argv) {
             stratrec::FormatDouble(run.requests_per_sec, 2) +
             ", \"speedup_vs_1\": " + stratrec::FormatDouble(run.speedup, 4) +
             ", \"steals\": " + std::to_string(run.steals) +
-            ", \"local_hits\": " + std::to_string(run.local_hits) + "}";
+            ", \"local_hits\": " + std::to_string(run.local_hits) +
+            ", \"rejected_requests\": " + std::to_string(run.rejected) +
+            ", \"retry_after_hints\": " + std::to_string(run.retry_hints) +
+            "}";
   }
   json += "\n  ]\n}\n";
   std::printf("\n%s", json.c_str());

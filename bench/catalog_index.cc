@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/catalog.h"
@@ -208,11 +209,16 @@ int main(int argc, char** argv) {
   std::printf("\n");
   table.Print();
 
+  // The workload block states the box it ran on: a baseline from a 1-core
+  // CI runner and one from a wide dev box are not comparable, and the
+  // hardware_threads field is what makes the difference visible.
   std::string json =
       "{\n  \"workload\": {\"batches\": " + std::to_string(num_batches) +
       ", \"requests_per_batch\": " + std::to_string(requests_per_batch) +
       ", \"availability\": " + stratrec::FormatDouble(kAvailability, 2) +
-      ", \"threads\": 1},\n  \"sizes\": [";
+      ", \"threads\": 1, \"hardware_threads\": " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      "},\n  \"sizes\": [";
   for (size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     json += (i == 0 ? "\n" : ",\n");

@@ -1,0 +1,303 @@
+// Closed-loop serving-tier load: N client threads, each holding one
+// keep-alive HTTP connection to a loopback server over a ShardRouter, each
+// driving requests back to back (a new request the moment the previous
+// response lands — classic closed-loop, so the offered load self-regulates
+// to the server's capacity). Reports p50/p95/p99 request latency and
+// sustained req/s, as an ASCII table and as serving_load.json.
+//
+// Before the timed loop the driver asserts the tier end to end: one batch
+// and one sweep through the HTTP stack must be *byte-identical* to the same
+// requests against an unsharded in-process Service — the router property,
+// re-checked through the real transport. Any identity mismatch or any
+// 5xx during the loop exits non-zero, which is what lets CI use this bench
+// as the serving smoke leg.
+//
+// Usage: bench_serving_load [strategies] [shards] [clients]
+//                           [requests_per_client]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/catalog.h"
+#include "src/api/codec.h"
+#include "src/api/service.h"
+#include "src/common/ascii_table.h"
+#include "src/common/json.h"
+#include "src/net/http_client.h"
+#include "src/net/serving.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+namespace api = stratrec::api;
+namespace core = stratrec::core;
+namespace net = stratrec::net;
+namespace wire = stratrec::wire;
+namespace workload = stratrec::workload;
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  size_t non_200 = 0;
+  size_t server_errors = 0;  // any 5xx fails the bench
+};
+
+api::BatchRequest MakeBatch(workload::Generator* generator, size_t sequence) {
+  api::BatchRequest batch;
+  batch.requests = generator->RequestsWithRanges(8, 6, {0.50, 0.80},
+                                                 {0.60, 1.0}, {0.60, 1.0});
+  batch.availability = api::AvailabilitySpec::Fixed(0.5);
+  batch.aggregation = core::AggregationMode::kMax;
+  batch.request_id = "load-batch-" + std::to_string(sequence);
+  return batch;
+}
+
+api::SweepRequest MakeSweep(workload::Generator* generator, size_t sequence) {
+  api::SweepRequest sweep;
+  sweep.targets = generator->RequestsWithRanges(4, 4, {0.60, 0.95},
+                                                {0.40, 0.9}, {0.40, 0.9});
+  sweep.availability = api::AvailabilitySpec::Fixed(0.5);
+  sweep.request_id = "load-sweep-" + std::to_string(sequence);
+  return sweep;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+/// The pre-flight identity gate: the HTTP response body for `body` must be
+/// byte-identical to `expected` (the unsharded in-process encoding).
+bool IdentityCheck(net::HttpClient* client, const std::string& target,
+                   const std::string& body, const std::string& expected,
+                   const char* label) {
+  auto response = client->PostJson(target, body);
+  if (!response.ok()) {
+    std::fprintf(stderr, "identity %s: transport failed: %s\n", label,
+                 response.status().ToString().c_str());
+    return false;
+  }
+  if (response->status_code != 200) {
+    std::fprintf(stderr, "identity %s: HTTP %d\n", label,
+                 response->status_code);
+    return false;
+  }
+  if (response->body != expected) {
+    std::fprintf(stderr,
+                 "identity %s: sharded-over-HTTP report diverged from the "
+                 "unsharded Service\n",
+                 label);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_strategies =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const size_t num_shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  const size_t num_clients = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  const size_t requests_per_client =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 25;
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf(
+      "Serving load: %zu closed-loop clients x %zu requests against "
+      "%zu shards over %zu strategies (%u hardware threads)\n\n",
+      num_clients, requests_per_client, num_shards, num_strategies, hardware);
+
+  workload::Generator generator({}, 0x5E41'0AD5ull);
+  const auto profiles = generator.Profiles(static_cast<int>(num_strategies));
+  const core::Catalog catalog = api::CatalogFromProfiles(profiles);
+
+  stratrec::RouterConfig router_config;
+  router_config.shards = num_shards;
+  auto router = stratrec::ShardRouter::Create(catalog, router_config);
+  if (!router.ok()) {
+    std::fprintf(stderr, "router setup failed: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+  auto server = net::StartServing(*router);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server setup failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u\n", server->port());
+
+  // Pre-flight: one batch and one sweep must come back byte-identical to
+  // the unsharded Service — through the full HTTP stack.
+  {
+    auto unsharded = api::Service::Create(catalog, router_config.service);
+    if (!unsharded.ok()) {
+      std::fprintf(stderr, "unsharded setup failed: %s\n",
+                   unsharded.status().ToString().c_str());
+      return 1;
+    }
+    workload::Generator check_gen({}, 0x1DE7'71F1ull);
+    const api::BatchRequest batch = MakeBatch(&check_gen, 0);
+    const api::SweepRequest sweep = MakeSweep(&check_gen, 0);
+    auto batch_expected = unsharded->SubmitBatch(batch);
+    auto sweep_expected = unsharded->RunSweep(sweep);
+    if (!batch_expected.ok() || !sweep_expected.ok()) {
+      std::fprintf(stderr, "unsharded baseline failed\n");
+      return 1;
+    }
+    auto client = net::HttpClient::Connect("127.0.0.1", server->port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    if (!IdentityCheck(&*client, "/v1/batch",
+                       stratrec::json::Dump(wire::Encode(batch)),
+                       stratrec::json::Dump(wire::Encode(*batch_expected)),
+                       "batch") ||
+        !IdentityCheck(&*client, "/v1/sweep",
+                       stratrec::json::Dump(wire::Encode(sweep)),
+                       stratrec::json::Dump(wire::Encode(*sweep_expected)),
+                       "sweep")) {
+      return 1;
+    }
+    std::printf("identity check: batch + sweep byte-identical to unsharded\n");
+  }
+
+  // The timed closed loop. Bodies are pre-encoded so the driver measures
+  // the tier, not the client's JSON encoder. Every 4th request is a sweep.
+  std::vector<std::string> batch_bodies;
+  std::vector<std::string> sweep_bodies;
+  for (size_t c = 0; c < num_clients; ++c) {
+    workload::Generator client_gen({}, 0xC11E'0000ull + c);
+    for (size_t r = 0; r < requests_per_client; ++r) {
+      const size_t sequence = c * requests_per_client + r;
+      if (r % 4 == 3) {
+        sweep_bodies.push_back(
+            stratrec::json::Dump(wire::Encode(MakeSweep(&client_gen,
+                                                        sequence))));
+      } else {
+        batch_bodies.push_back(
+            stratrec::json::Dump(wire::Encode(MakeBatch(&client_gen,
+                                                        sequence))));
+      }
+    }
+  }
+
+  std::vector<ClientResult> per_client(num_clients);
+  std::atomic<bool> failed{false};
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c]() {
+      auto client = net::HttpClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      ClientResult& mine = per_client[c];
+      size_t next_batch = c * ((requests_per_client * 3 + 3) / 4);
+      size_t next_sweep = c * (requests_per_client / 4);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const bool is_sweep = r % 4 == 3;
+        const std::string& body = is_sweep ? sweep_bodies[next_sweep++]
+                                           : batch_bodies[next_batch++];
+        const char* target = is_sweep ? "/v1/sweep" : "/v1/batch";
+        const auto start = std::chrono::steady_clock::now();
+        auto response = client->PostJson(target, body);
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (!response.ok()) {
+          failed.store(true);
+          return;
+        }
+        mine.latencies_ms.push_back(elapsed.count());
+        if (response->status_code != 200) {
+          ++mine.non_200;
+          if (response->status_code >= 500) ++mine.server_errors;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  server->Stop();
+
+  if (failed.load()) {
+    std::fprintf(stderr, "a client hit a transport failure\n");
+    return 1;
+  }
+
+  std::vector<double> latencies;
+  size_t non_200 = 0;
+  size_t server_errors = 0;
+  for (const ClientResult& result : per_client) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    non_200 += result.non_200;
+    server_errors += result.server_errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  const double requests_per_sec =
+      wall.count() > 0.0
+          ? static_cast<double>(latencies.size()) / wall.count()
+          : 0.0;
+  const api::ServiceStats stats = router->stats();
+
+  stratrec::AsciiTable table({"clients", "requests", "p50 ms", "p95 ms",
+                              "p99 ms", "req/s", "non-200", "rejected"});
+  table.AddRow({std::to_string(num_clients), std::to_string(latencies.size()),
+                stratrec::FormatDouble(p50, 2), stratrec::FormatDouble(p95, 2),
+                stratrec::FormatDouble(p99, 2),
+                stratrec::FormatDouble(requests_per_sec, 1),
+                std::to_string(non_200),
+                std::to_string(stats.rejected_requests)});
+  table.Print();
+
+  std::string json =
+      "{\n  \"workload\": {\"strategies\": " + std::to_string(num_strategies) +
+      ", \"shards\": " + std::to_string(num_shards) +
+      ", \"clients\": " + std::to_string(num_clients) +
+      ", \"requests_per_client\": " + std::to_string(requests_per_client) +
+      ", \"hardware_threads\": " + std::to_string(hardware) +
+      "},\n  \"results\": {\"requests\": " + std::to_string(latencies.size()) +
+      ", \"seconds\": " + stratrec::FormatDouble(wall.count(), 6) +
+      ", \"p50_ms\": " + stratrec::FormatDouble(p50, 3) +
+      ", \"p95_ms\": " + stratrec::FormatDouble(p95, 3) +
+      ", \"p99_ms\": " + stratrec::FormatDouble(p99, 3) +
+      ", \"requests_per_sec\": " +
+      stratrec::FormatDouble(requests_per_sec, 2) +
+      ", \"non_200\": " + std::to_string(non_200) +
+      ", \"server_errors\": " + std::to_string(server_errors) +
+      ", \"rejected_requests\": " + std::to_string(stats.rejected_requests) +
+      ", \"retry_after_hints\": " +
+      std::to_string(stats.retry_after_hints) +
+      ", \"identity\": \"ok\"}\n}\n";
+  std::printf("\n%s", json.c_str());
+
+  if (FILE* out = std::fopen("serving_load.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("(written to serving_load.json)\n");
+  }
+
+  if (server_errors > 0) {
+    std::fprintf(stderr, "%zu server errors (5xx) during the loop\n",
+                 server_errors);
+    return 1;
+  }
+  return 0;
+}

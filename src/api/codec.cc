@@ -987,6 +987,7 @@ json::Value Encode(const api::ServiceConfig& config) {
   journal.Add("path", config.journal.path);
   journal.Add("record_cancelled", config.journal.record_cancelled);
   journal.Add("flush_every_record", config.journal.flush_every_record);
+  journal.Add("max_segment_bytes", config.journal.max_segment_bytes);
   obj.Add("journal", std::move(journal));
 
   obj.Add("availability", Encode(config.availability));
@@ -1053,6 +1054,8 @@ Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value) {
                                  &config.journal.record_cancelled));
   STRATREC_RETURN_NOT_OK(GetBool(*journal, "flush_every_record",
                                  &config.journal.flush_every_record));
+  STRATREC_RETURN_NOT_OK(GetSize(*journal, "max_segment_bytes",
+                                 &config.journal.max_segment_bytes));
 
   const Value* availability = value.Find("availability");
   if (availability == nullptr) return MissingField("availability");
@@ -1081,6 +1084,8 @@ json::Value Encode(const api::ServiceStats& stats) {
   obj.Add("cache_hits", stats.cache_hits);
   obj.Add("cache_misses", stats.cache_misses);
   obj.Add("index_build_nanos", stats.index_build_nanos);
+  obj.Add("rejected_requests", stats.rejected_requests);
+  obj.Add("retry_after_hints", stats.retry_after_hints);
   return obj;
 }
 
@@ -1106,6 +1111,10 @@ Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
       GetSize(value, "cache_misses", &stats.cache_misses));
   STRATREC_RETURN_NOT_OK(
       GetSize(value, "index_build_nanos", &stats.index_build_nanos));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "rejected_requests", &stats.rejected_requests));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "retry_after_hints", &stats.retry_after_hints));
   return stats;
 }
 
@@ -1250,7 +1259,9 @@ Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records) {
 }
 
 Result<JournalTrace> ReadTraceFile(const std::string& path) {
-  auto records = JournalReader::ReadRecords(path);
+  // Segment-rotation aware: a single-file journal reads as a one-segment
+  // chain, a rotated one concatenates `<path>`, `<path>.1`, ... in order.
+  auto records = JournalReader::ReadAllSegments(path);
   if (!records.ok()) return records.status();
   return DecodeTrace(*records);
 }

@@ -104,6 +104,13 @@ struct JournalConfig {
   /// the time its ticket is retrievable. Disable for maximum-rate recording
   /// where losing the tail on a crash is acceptable.
   bool flush_every_record = true;
+  /// Segment rotation: when > 0, the writer rolls to `<path>.1`,
+  /// `<path>.2`, ... once appending a record would push the current segment
+  /// past this many bytes (each segment re-opens with its own header line,
+  /// and a record never splits across segments). 0 (the default) keeps the
+  /// single unbounded file. wire::ReadTraceFile reads the whole segment
+  /// chain back as one trace.
+  size_t max_segment_bytes = 0;
 
   bool operator==(const JournalConfig&) const = default;
 };

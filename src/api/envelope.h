@@ -110,6 +110,76 @@ struct SweepReport {
 };
 
 // ---------------------------------------------------------------------------
+// Shard scan (the scatter half of the router's scatter/gather).
+// ---------------------------------------------------------------------------
+
+/// Everything the shard router needs from one shard to reassemble the
+/// unsharded answer: per-request workforce-row views, the shard's estimated
+/// parameter block at W, and the per-k ADPaR candidate orderings
+/// (skyline-pruned skybands in shard-local sorted order). The router merges
+/// these across shards with the global tie rules — (requirement, global
+/// index) for rows, (cost, global index) / (quality desc, global index) for
+/// skybands — which reproduces the single-shard orderings exactly.
+///
+/// Unlike the public envelopes these never travel the wire codec: the
+/// router and its shards share one process.
+struct ShardScanRequest {
+  /// Rows of the workforce matrix to scan; `requests[i].k` bounds row i's
+  /// top list. Empty for a sweep-only scan.
+  std::vector<core::DeploymentRequest> requests;
+  /// Resolved + quantized expected availability W. The shard uses it
+  /// verbatim for its snapshot — resolution and quantization already
+  /// happened on the router, exactly once, like the unsharded path.
+  double availability = 0.0;
+  core::WorkforcePolicy policy = core::WorkforcePolicy::kMinimalWorkforce;
+  /// Distinct cardinalities needing ADPaR candidate orderings.
+  std::vector<int> skyband_ks;
+  /// Return the shard's full parameter block (the router caches the merged
+  /// block per W and skips re-fetching it on later scans).
+  bool want_params = true;
+  /// Caller-assigned report id; empty (the default) means service-assigned.
+  std::string request_id;
+
+  bool operator==(const ShardScanRequest&) const = default;
+};
+
+/// One workforce-matrix row, shard-locally folded (see
+/// core::WorkforceMatrix::TopStrategies): the shard's feasible count plus
+/// its min(k, feasible) cheapest strategies ascending by (requirement,
+/// local index).
+struct ShardRequestScan {
+  size_t feasible_count = 0;
+  std::vector<size_t> strategies;    ///< shard-local strategy indices
+  std::vector<double> requirements;  ///< index-aligned with `strategies`
+
+  bool operator==(const ShardRequestScan&) const = default;
+};
+
+/// The shard's ADPaR candidate orderings for one cardinality k: the
+/// skyline-pruned (or full, when pruning is a no-op) by-cost and
+/// by-quality-descending index lists, in shard-local sorted order.
+struct ShardSkyband {
+  int k = 0;
+  std::vector<size_t> by_cost;          ///< ascending (cost, local index)
+  std::vector<size_t> by_quality_desc;  ///< descending quality, ties by index
+
+  bool operator==(const ShardSkyband&) const = default;
+};
+
+/// Outcome of one ScanShardAsync call.
+struct ShardScanReport {
+  std::string request_id;
+  double availability = 0.0;
+  /// The shard's estimated ParamVector block at W (bit-identical to the
+  /// corresponding slice of the unsharded block); empty unless requested.
+  std::vector<core::ParamVector> params;
+  std::vector<ShardRequestScan> rows;  ///< index-aligned with the requests
+  std::vector<ShardSkyband> skybands;  ///< one per requested cardinality
+
+  bool operator==(const ShardScanReport&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Stream mode (wraps core::OnlineScheduler behind a session handle).
 // ---------------------------------------------------------------------------
 
@@ -208,6 +278,14 @@ struct ServiceStats {
   /// Service::Create (core::CatalogIndex; a one-time cost every batch
   /// amortizes).
   size_t index_build_nanos = 0;
+  /// Admission control (lifetime): requests turned away because the queue
+  /// gauge exceeded the configured ceiling, and how many of those rejections
+  /// carried a back-off hint (HTTP 429 + Retry-After on the serving tier).
+  /// Zero on a Service that fronts no admission controller — the shard
+  /// router and HTTP tier maintain them, but they travel in ServiceStats so
+  /// one stats envelope (and one codec) covers both tiers.
+  size_t rejected_requests = 0;
+  size_t retry_after_hints = 0;
 
   bool operator==(const ServiceStats&) const = default;
 };

@@ -20,6 +20,8 @@
 #include "src/common/executor.h"
 #include "src/common/journal.h"
 #include "src/common/logging.h"
+#include "src/core/catalog_index.h"
+#include "src/core/workforce.h"
 
 namespace stratrec::api {
 
@@ -431,6 +433,58 @@ Result<SweepReport> ExecuteSweep(ServiceState* state,
   return report;
 }
 
+/// The shard-scan body: the scatter half of the router's scatter/gather.
+/// The availability arrives pre-resolved and pre-quantized from the router,
+/// so the snapshot cache key matches the unsharded path bit for bit.
+Result<ShardScanReport> ExecuteShardScan(ServiceState* state,
+                                         const ShardScanRequest& request,
+                                         const std::string& id) {
+  ShardScanReport report;
+  report.request_id = id;
+  report.availability = request.availability;
+
+  if (!request.requests.empty()) {
+    const core::WorkforceMatrix matrix = core::WorkforceMatrix::Compute(
+        request.requests, state->stratrec.aggregator().index(), request.policy,
+        &state->executor, state->config.execution.parallel_grain);
+    report.rows.reserve(request.requests.size());
+    for (size_t i = 0; i < request.requests.size(); ++i) {
+      ShardRequestScan row;
+      // k < 1 rows stay empty: the gather rejects them via ValidateRequest
+      // before reading any shard data, exactly like the unsharded path.
+      if (request.requests[i].k >= 1) {
+        auto top = matrix.TopStrategies(i, request.requests[i].k);
+        if (!top.ok()) return top.status();
+        row.feasible_count = top->feasible_count;
+        row.strategies = std::move(top->strategies);
+        row.requirements = std::move(top->requirements);
+      }
+      report.rows.push_back(std::move(row));
+    }
+  }
+
+  if (request.want_params || !request.skyband_ks.empty()) {
+    auto snapshot = state->SnapshotFor(request.availability);
+    if (request.want_params) report.params = snapshot->params();
+    report.skybands.reserve(request.skyband_ks.size());
+    for (int k : request.skyband_ks) {
+      ShardSkyband band;
+      band.k = k;
+      if (auto pruned = snapshot->PrunedFor(k)) {
+        band.by_cost = pruned->by_cost;
+        band.by_quality_desc = pruned->by_quality_desc;
+      } else {
+        // Pruning was a no-op for this k; serve the full orderings.
+        const core::AdparOrderings& orderings = snapshot->orderings();
+        band.by_cost = orderings.by_cost;
+        band.by_quality_desc = orderings.by_quality_desc;
+      }
+      report.skybands.push_back(std::move(band));
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 }  // namespace internal
@@ -448,7 +502,8 @@ Result<Service> Service::Create(core::Catalog catalog, ServiceConfig config) {
   std::shared_ptr<JournalWriter> journal;
   if (!config.journal.path.empty()) {
     auto writer = JournalWriter::Open(config.journal.path,
-                                      config.journal.flush_every_record);
+                                      config.journal.flush_every_record,
+                                      config.journal.max_segment_bytes);
     if (!writer.ok()) return writer.status();
     journal = std::move(*writer);
     STRATREC_RETURN_NOT_OK(journal->Append(wire::EncodeConfigRecord(config)));
@@ -528,6 +583,28 @@ Ticket<SweepReport> Service::RunSweepAsync(SweepRequest request) const {
         shared->Finish(std::move(outcome));
       });
   return Ticket<SweepReport>(std::move(shared));
+}
+
+Ticket<ShardScanReport> Service::ScanShardAsync(ShardScanRequest request) const {
+  auto shared = std::make_shared<internal::TicketShared<ShardScanReport>>(
+      request.request_id.empty() ? state_->NextId("scan")
+                                 : request.request_id);
+  internal::ServiceState* state = state_.get();
+  state_->executor.Submit(
+      [state, shared, request = std::move(request)]() mutable {
+        if (!shared->BeginRun()) {
+          state->stats.Local().cancelled.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          return;
+        }
+        auto outcome = internal::GuardJob([&]() {
+          return internal::ExecuteShardScan(state, request, shared->id);
+        });
+        // No journal tap: scans are a router-internal transport, and the
+        // router's own requests are what replay needs to reproduce.
+        shared->Finish(std::move(outcome));
+      });
+  return Ticket<ShardScanReport>(std::move(shared));
 }
 
 Result<BatchReport> Service::SubmitBatch(BatchRequest request) const {

@@ -46,7 +46,20 @@ namespace stratrec::api {
 
 class Service;
 
+template <typename T>
+class Ticket;
+
 namespace internal {
+
+template <typename T>
+struct TicketShared;
+
+/// Constructs a Ticket over existing shared state. The ticket constructor
+/// is private to keep arbitrary callers from minting handles; the shard
+/// router (and any future in-process tier that completes its own jobs)
+/// builds tickets through this factory instead of befriending Ticket.
+template <typename T>
+Ticket<T> MakeTicket(std::shared_ptr<TicketShared<T>> shared);
 
 /// Shared state of one asynchronous job. The executor task and every ticket
 /// copy point at one of these; `phase` gates the cancel/run race.
@@ -195,6 +208,9 @@ class Ticket {
  private:
   using Shared = internal::TicketShared<T>;
   friend class Service;
+  template <typename U>
+  friend Ticket<U> internal::MakeTicket(
+      std::shared_ptr<internal::TicketShared<U>> shared);
   explicit Ticket(std::shared_ptr<Shared> shared)
       : shared_(std::move(shared)) {}
 
@@ -209,6 +225,15 @@ class Ticket {
 
   std::shared_ptr<Shared> shared_;
 };
+
+namespace internal {
+
+template <typename T>
+Ticket<T> MakeTicket(std::shared_ptr<TicketShared<T>> shared) {
+  return Ticket<T>(std::move(shared));
+}
+
+}  // namespace internal
 
 }  // namespace stratrec::api
 

@@ -18,7 +18,7 @@ std::string HeaderLine() {
 }  // namespace
 
 Result<std::shared_ptr<JournalWriter>> JournalWriter::Open(
-    std::string path, bool flush_every_record) {
+    std::string path, bool flush_every_record, size_t max_segment_bytes) {
   if (path.empty()) {
     return Status::InvalidArgument("journal path is empty");
   }
@@ -26,16 +26,37 @@ Result<std::shared_ptr<JournalWriter>> JournalWriter::Open(
   if (file == nullptr) {
     return Status::Internal("cannot create journal file '" + path + "'");
   }
+  const std::string header = HeaderLine();
   // Not make_shared: the constructor is private.
   std::shared_ptr<JournalWriter> writer(
-      new JournalWriter(std::move(path), file, flush_every_record));
-  const std::string header = HeaderLine();
+      new JournalWriter(std::move(path), file, flush_every_record,
+                        max_segment_bytes, header.size() + 1));
   if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
       std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
     return Status::Internal("cannot write journal header to '" +
                             writer->path() + "'");
   }
   return writer;
+}
+
+Status JournalWriter::RollSegmentLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string next = path_ + "." + std::to_string(++segment_index_);
+  std::FILE* file = std::fopen(next.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create journal segment '" + next + "'");
+  }
+  const std::string header = HeaderLine();
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot write journal header to '" + next + "'");
+  }
+  file_ = file;
+  segment_bytes_ = header.size() + 1;
+  segment_records_ = 0;
+  return Status::OK();
 }
 
 JournalWriter::~JournalWriter() {
@@ -49,6 +70,13 @@ Status JournalWriter::Append(std::string_view line) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("journal writer is closed");
   }
+  // Roll before a record that would overrun the segment bound — but only
+  // when the current segment already holds a record, so an oversized record
+  // lands in a segment of its own instead of rolling forever.
+  if (max_segment_bytes_ > 0 && segment_records_ > 0 &&
+      segment_bytes_ + line.size() + 1 > max_segment_bytes_) {
+    STRATREC_RETURN_NOT_OK(RollSegmentLocked());
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fputc('\n', file_) == EOF) {
     return Status::Internal("journal append to '" + path_ + "' failed");
@@ -56,6 +84,8 @@ Status JournalWriter::Append(std::string_view line) {
   if (flush_ && std::fflush(file_) != 0) {
     return Status::Internal("journal flush of '" + path_ + "' failed");
   }
+  segment_bytes_ += line.size() + 1;
+  ++segment_records_;
   ++records_;
   return Status::OK();
 }
@@ -121,6 +151,25 @@ Result<std::vector<std::string>> JournalReader::ReadRecords(
   }
   lines.erase(lines.begin());
   return lines;
+}
+
+Result<std::vector<std::string>> JournalReader::ReadAllSegments(
+    const std::string& path) {
+  auto records = ReadRecords(path);
+  if (!records.ok()) return records;
+  for (size_t n = 1;; ++n) {
+    const std::string segment = path + "." + std::to_string(n);
+    auto more = ReadRecords(segment);
+    if (!more.ok()) {
+      // The first missing segment ends the chain; anything else (a torn or
+      // foreign file sitting at a chain name) is a real error.
+      if (more.status().code() == StatusCode::kNotFound) break;
+      return more.status();
+    }
+    records->insert(records->end(), std::make_move_iterator(more->begin()),
+                    std::make_move_iterator(more->end()));
+  }
+  return records;
 }
 
 }  // namespace stratrec

@@ -37,15 +37,27 @@ inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// Version written by this build; readers reject other versions.
 /// v2: the config record gained the ServiceConfig::cache block and stats
 /// records the cache_hits/cache_misses/index_build_nanos counters.
-inline constexpr int kJournalFormatVersion = 2;
+/// v3: segment rotation (the journal block gained max_segment_bytes) and
+/// stats records the rejected_requests/retry_after_hints admission counters.
+inline constexpr int kJournalFormatVersion = 3;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.
 class JournalWriter {
  public:
   /// Fails with kInternal when the file cannot be created.
+  ///
+  /// `max_segment_bytes` > 0 enables segment rotation: once appending a
+  /// record would push the current segment past that many bytes (header
+  /// included), the writer closes it and rolls to `<path>.1`, `<path>.2`,
+  /// ... — each segment starting with its own header line, so every file in
+  /// the chain is independently a well-formed journal. A segment always
+  /// holds at least one record (a record larger than the bound gets a
+  /// segment to itself rather than rolling forever), and a record never
+  /// splits across segments. 0 (the default) keeps one unbounded file.
   static Result<std::shared_ptr<JournalWriter>> Open(
-      std::string path, bool flush_every_record = true);
+      std::string path, bool flush_every_record = true,
+      size_t max_segment_bytes = 0);
 
   ~JournalWriter();
 
@@ -63,13 +75,26 @@ class JournalWriter {
   size_t records_written() const;
 
  private:
-  JournalWriter(std::string path, std::FILE* file, bool flush_every_record)
-      : path_(std::move(path)), file_(file), flush_(flush_every_record) {}
+  JournalWriter(std::string path, std::FILE* file, bool flush_every_record,
+                size_t max_segment_bytes, size_t header_bytes)
+      : path_(std::move(path)),
+        file_(file),
+        flush_(flush_every_record),
+        max_segment_bytes_(max_segment_bytes),
+        segment_bytes_(header_bytes) {}
+
+  /// Closes the current segment and opens `<path>.<next>` with a fresh
+  /// header. Called under `mutex_`.
+  Status RollSegmentLocked();
 
   const std::string path_;
-  mutable std::mutex mutex_;  ///< guards file_ and records_
+  mutable std::mutex mutex_;  ///< guards the mutable state below
   std::FILE* file_ = nullptr;
   const bool flush_;
+  const size_t max_segment_bytes_;
+  size_t segment_bytes_ = 0;    ///< bytes written to the current segment
+  size_t segment_records_ = 0;  ///< records in the current segment
+  size_t segment_index_ = 0;    ///< 0 = the base path, n = "<path>.n"
   size_t records_ = 0;
 };
 
@@ -82,6 +107,13 @@ class JournalReader {
   /// terminating '\n' (a crash-truncated tail) is dropped with no error —
   /// every returned record is complete.
   static Result<std::vector<std::string>> ReadRecords(const std::string& path);
+
+  /// Reads a whole segment chain — `path`, then `<path>.1`, `<path>.2`, ...
+  /// until the first missing segment — and returns the concatenated records
+  /// in write order. Each segment's header is validated like ReadRecords.
+  /// A single-file journal (no rotation) reads identically to ReadRecords.
+  static Result<std::vector<std::string>> ReadAllSegments(
+      const std::string& path);
 };
 
 }  // namespace stratrec

@@ -214,6 +214,21 @@ Result<AdparResult> AdparExact(const std::vector<ParamVector>& strategies,
   return FinishSweep(strategies, best, k);
 }
 
+Result<AdparResult> AdparExactOverOrderings(
+    const std::vector<ParamVector>& strategies,
+    const std::vector<size_t>& by_cost,
+    const std::vector<size_t>& by_quality_desc, const ParamVector& request,
+    int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (strategies.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer strategies than k");
+  }
+  const SweepBest best =
+      SweepOrderings(strategies, by_cost, by_quality_desc, request,
+                     static_cast<size_t>(k), /*trace=*/nullptr);
+  return FinishSweep(strategies, best, k);
+}
+
 Result<AdparResult> AdparExact(const AvailabilitySnapshot& snapshot,
                                const ParamVector& request, int k) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -235,10 +250,8 @@ Result<AdparResult> AdparExact(const AvailabilitySnapshot& snapshot,
       pruned != nullptr ? pruned->by_quality_desc
                         : orderings.by_quality_desc;
 
-  const SweepBest best =
-      SweepOrderings(strategies, by_cost, by_quality_desc, request,
-                     static_cast<size_t>(k), /*trace=*/nullptr);
-  return FinishSweep(strategies, best, k);
+  return AdparExactOverOrderings(strategies, by_cost, by_quality_desc,
+                                 request, k);
 }
 
 }  // namespace stratrec::core

@@ -80,6 +80,21 @@ Result<AdparResult> AdparExact(const std::vector<ParamVector>& strategies,
                                const ParamVector& request, int k,
                                AdparTrace* trace = nullptr);
 
+/// Exact solver over caller-supplied axis orderings. `strategies` is the
+/// full parameter list; `by_cost` (ascending cost, ties by index) and
+/// `by_quality_desc` (descending quality, ties by index) are orderings over
+/// any candidate subset that provably contains an optimal tight alternative
+/// (the whole list, a skyline-pruned subset, or a k-way merge of per-shard
+/// skybands). Covered strategies are re-selected against the full list, so
+/// every caller reports the same deterministic k-set. This is the funnel the
+/// classic and snapshot entry points already share; exporting it lets the
+/// shard router run the identical float operations over merged orderings.
+Result<AdparResult> AdparExactOverOrderings(
+    const std::vector<ParamVector>& strategies,
+    const std::vector<size_t>& by_cost,
+    const std::vector<size_t>& by_quality_desc, const ParamVector& request,
+    int k);
+
 /// A pluggable alternative-recommendation solver (AdparExact, the paper's
 /// literal sweep, the baselines, ...). StratRec and the api-layer registry
 /// accept any callable with this shape.

@@ -7,61 +7,81 @@
 #include "src/core/knapsack.h"
 
 namespace stratrec::core {
-namespace {
 
-// Builds the eligible item list and pre-fills the outcome vector.
-Result<std::vector<KnapsackItem>> PrepareItems(
+Result<BatchResult> SolveBatchAggregated(
     const std::vector<DeploymentRequest>& requests,
-    const WorkforceMatrix& matrix, const BatchOptions& options,
-    std::vector<RequestOutcome>* outcomes) {
+    const std::vector<AggregatedRequest>& aggregated,
+    double available_workforce, const BatchOptions& options,
+    BatchAlgorithm algorithm) {
+  if (available_workforce < 0.0) {
+    return Status::InvalidArgument("available workforce must be >= 0");
+  }
+  if (aggregated.size() != requests.size()) {
+    return Status::InvalidArgument(
+        "aggregated rows must be index-aligned with the requests");
+  }
+
+  BatchResult result;
+  result.outcomes.resize(requests.size());
   std::vector<KnapsackItem> items;
-  outcomes->clear();
-  outcomes->resize(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     STRATREC_RETURN_NOT_OK(ValidateRequest(requests[i]));
-    RequestOutcome& outcome = (*outcomes)[i];
+    RequestOutcome& outcome = result.outcomes[i];
     outcome.request_index = i;
     outcome.objective_value = options.objective == Objective::kThroughput
                                   ? 1.0
                                   : requests[i].Payoff();
-    auto requirement =
-        matrix.AggregateRequirement(i, requests[i].k, options.aggregation);
-    if (!requirement.ok()) continue;  // not eligible: fewer than k strategies
+    if (!aggregated[i].eligible) continue;  // fewer than k strategies
     outcome.eligible = true;
     KnapsackItem item;
     item.index = i;
-    item.weight = *requirement;
+    item.weight = aggregated[i].requirement;
     item.value = outcome.objective_value;
     // BaselineG always ranks by pay-off density, whatever the objective.
     item.sort_value = requests[i].Payoff();
     items.push_back(item);
   }
-  return items;
-}
 
-void CommitSelection(const std::vector<DeploymentRequest>& requests,
-                     const WorkforceMatrix& matrix,
-                     const std::vector<KnapsackItem>& chosen,
-                     BatchResult* result) {
-  for (const KnapsackItem& item : chosen) {
-    RequestOutcome& outcome = result->outcomes[item.index];
-    outcome.satisfied = true;
-    outcome.workforce = item.weight;
-    auto best = matrix.KBestStrategies(item.index, requests[item.index].k);
-    if (best.ok()) outcome.strategies = std::move(*best);
-    result->total_objective += item.value;
-    result->workforce_used += item.weight;
-  }
-  for (size_t i = 0; i < result->outcomes.size(); ++i) {
-    if (result->outcomes[i].satisfied) {
-      result->satisfied.push_back(i);
-    } else {
-      result->unsatisfied.push_back(i);
+  std::vector<KnapsackItem> chosen;
+  switch (algorithm) {
+    case BatchAlgorithm::kBatchStrat: {
+      GreedyKnapsackOptions greedy;
+      greedy.single_item_guard = true;
+      chosen = GreedyKnapsack(std::move(items), available_workforce, greedy);
+      break;
+    }
+    case BatchAlgorithm::kBaselineG: {
+      GreedyKnapsackOptions greedy;
+      greedy.single_item_guard = false;
+      greedy.use_sort_value = true;  // pay-off density, no guard
+      chosen = GreedyKnapsack(std::move(items), available_workforce, greedy);
+      break;
+    }
+    case BatchAlgorithm::kBruteForce: {
+      auto exact = BruteForceKnapsack(items, available_workforce);
+      if (!exact.ok()) return exact.status();
+      chosen = std::move(*exact);
+      break;
     }
   }
-}
 
-}  // namespace
+  for (const KnapsackItem& item : chosen) {
+    RequestOutcome& outcome = result.outcomes[item.index];
+    outcome.satisfied = true;
+    outcome.workforce = item.weight;
+    outcome.strategies = aggregated[item.index].strategies;
+    result.total_objective += item.value;
+    result.workforce_used += item.weight;
+  }
+  for (size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (result.outcomes[i].satisfied) {
+      result.satisfied.push_back(i);
+    } else {
+      result.unsatisfied.push_back(i);
+    }
+  }
+  return result;
+}
 
 Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
                                const std::vector<StrategyProfile>& profiles,
@@ -80,35 +100,24 @@ Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
                                      options.executor,
                                      options.parallel_grain);
 
-  BatchResult result;
-  auto items = PrepareItems(requests, matrix, options, &result.outcomes);
-  if (!items.ok()) return items.status();
-
-  std::vector<KnapsackItem> chosen;
-  switch (algorithm) {
-    case BatchAlgorithm::kBatchStrat: {
-      GreedyKnapsackOptions greedy;
-      greedy.single_item_guard = true;
-      chosen = GreedyKnapsack(std::move(*items), available_workforce, greedy);
-      break;
+  // Fold each row once: the k-best list doubles as the aggregation order
+  // (the sum below visits requirements exactly as AggregateRequirement
+  // does) and as the commit-time strategy list.
+  std::vector<AggregatedRequest> aggregated(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto best = matrix.KBestStrategies(i, requests[i].k);
+    if (!best.ok()) continue;  // not eligible: fewer than k strategies
+    AggregatedRequest& row = aggregated[i];
+    row.eligible = true;
+    if (options.aggregation == AggregationMode::kSum) {
+      for (size_t j : *best) row.requirement += matrix.At(i, j).requirement;
+    } else {
+      row.requirement = matrix.At(i, best->back()).requirement;
     }
-    case BatchAlgorithm::kBaselineG: {
-      GreedyKnapsackOptions greedy;
-      greedy.single_item_guard = false;
-      greedy.use_sort_value = true;  // pay-off density, no guard
-      chosen = GreedyKnapsack(std::move(*items), available_workforce, greedy);
-      break;
-    }
-    case BatchAlgorithm::kBruteForce: {
-      auto exact = BruteForceKnapsack(*items, available_workforce);
-      if (!exact.ok()) return exact.status();
-      chosen = std::move(*exact);
-      break;
-    }
+    row.strategies = std::move(*best);
   }
-
-  CommitSelection(requests, matrix, chosen, &result);
-  return result;
+  return SolveBatchAggregated(requests, aggregated, available_workforce,
+                              options, algorithm);
 }
 
 Result<BatchResult> BatchStrat(const std::vector<DeploymentRequest>& requests,

@@ -107,6 +107,33 @@ Result<BatchResult> SolveBatch(const std::vector<DeploymentRequest>& requests,
                                const BatchOptions& options,
                                BatchAlgorithm algorithm);
 
+/// One request's precomputed row aggregate: the input to the
+/// matrix-independent half of SolveBatch. `strategies` is the request's
+/// k-best list in WorkforceMatrix::KBestStrategies order (ascending
+/// requirement, ties by strategy index) and `requirement` the aggregated
+/// workforce over exactly that list; both are meaningless when `eligible`
+/// is false. The shard router assembles these by merging per-shard
+/// WorkforceMatrix::TopStrategies rows, which reproduces the unsharded
+/// values bit for bit.
+struct AggregatedRequest {
+  bool eligible = false;
+  double requirement = 0.0;
+  std::vector<size_t> strategies;
+
+  bool operator==(const AggregatedRequest&) const = default;
+};
+
+/// The selection half of SolveBatch: validation, the knapsack, and the
+/// outcome commit, over caller-supplied row aggregates instead of a
+/// WorkforceMatrix. SolveBatch itself funnels here after aggregating its
+/// matrix, so a caller that supplies the same aggregates gets a bit-identical
+/// BatchResult. `aggregated` must be index-aligned with `requests`.
+Result<BatchResult> SolveBatchAggregated(
+    const std::vector<DeploymentRequest>& requests,
+    const std::vector<AggregatedRequest>& aggregated,
+    double available_workforce, const BatchOptions& options,
+    BatchAlgorithm algorithm);
+
 /// Convenience wrappers.
 Result<BatchResult> BatchStrat(const std::vector<DeploymentRequest>& requests,
                                const std::vector<StrategyProfile>& profiles,

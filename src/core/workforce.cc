@@ -166,6 +166,36 @@ Result<std::vector<size_t>> WorkforceMatrix::KBestStrategies(size_t request,
   return feasible;
 }
 
+Result<WorkforceMatrix::RowTopK> WorkforceMatrix::TopStrategies(size_t request,
+                                                                int k) const {
+  if (request >= rows_) return Status::OutOfRange("request index");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  std::vector<size_t> feasible;
+  feasible.reserve(cols_);
+  for (size_t j = 0; j < cols_; ++j) {
+    if (At(request, j).feasible) feasible.push_back(j);
+  }
+  RowTopK row;
+  row.feasible_count = feasible.size();
+  const size_t take = std::min(feasible.size(), static_cast<size_t>(k));
+  auto cheaper = [this, request](size_t a, size_t b) {
+    const double wa = At(request, a).requirement;
+    const double wb = At(request, b).requirement;
+    if (wa != wb) return wa < wb;
+    return a < b;
+  };
+  std::partial_sort(feasible.begin(),
+                    feasible.begin() + static_cast<ptrdiff_t>(take),
+                    feasible.end(), cheaper);
+  feasible.resize(take);
+  row.strategies = std::move(feasible);
+  row.requirements.reserve(take);
+  for (size_t j : row.strategies) {
+    row.requirements.push_back(At(request, j).requirement);
+  }
+  return row;
+}
+
 Result<double> WorkforceMatrix::AggregateRequirement(size_t request, int k,
                                                      AggregationMode mode) const {
   auto best = KBestStrategies(request, k);

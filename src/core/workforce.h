@@ -107,6 +107,23 @@ class WorkforceMatrix {
   Result<double> AggregateRequirement(size_t request, int k,
                                       AggregationMode mode) const;
 
+  /// Partial view of one row for scatter/gather: the total feasible count
+  /// plus the min(k, feasible) cheapest strategies in KBestStrategies order
+  /// (ascending requirement, ties by index) with their requirements. Unlike
+  /// KBestStrategies this never fails on a short row — a shard cannot know
+  /// whether its siblings make up the difference. Merging per-shard rows by
+  /// (requirement, global index) reproduces the unsharded KBestStrategies
+  /// list exactly, because the global k-best is always contained in the
+  /// union of per-shard k-bests.
+  struct RowTopK {
+    size_t feasible_count = 0;
+    std::vector<size_t> strategies;    ///< ascending (requirement, index)
+    std::vector<double> requirements;  ///< index-aligned with `strategies`
+
+    bool operator==(const RowTopK&) const = default;
+  };
+  Result<RowTopK> TopStrategies(size_t request, int k) const;
+
  private:
   WorkforceMatrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), cells_(rows * cols) {}

@@ -1,0 +1,346 @@
+#include "src/net/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+namespace stratrec::net {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* FindIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Pops one line off `rest` (up to LF; a trailing CR is stripped).
+std::string_view NextLine(std::string_view* rest) {
+  const size_t lf = rest->find('\n');
+  std::string_view line;
+  if (lf == std::string_view::npos) {
+    line = *rest;
+    rest->remove_prefix(rest->size());
+  } else {
+    line = rest->substr(0, lf);
+    rest->remove_prefix(lf + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+bool HttpRequest::WantsClose() const {
+  if (const std::string* connection = FindHeader("Connection")) {
+    if (EqualsIgnoreCase(Trim(*connection), "close")) return true;
+    if (EqualsIgnoreCase(Trim(*connection), "keep-alive")) return false;
+  }
+  return version == "HTTP/1.0";  // 1.0 defaults to close
+}
+
+const char* DefaultReason(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeRequest(const HttpRequest& request) {
+  std::string out;
+  out.reserve(128 + request.body.size());
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += ' ';
+  out += request.version;
+  out += "\r\n";
+  for (const auto& [key, value] : request.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 " + std::to_string(response.status_code) + ' ';
+  out += response.reason.empty() ? DefaultReason(response.status_code)
+                                 : response.reason.c_str();
+  out += "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+namespace internal {
+
+Status ParseHead(std::string_view head, std::string* start_line,
+                 std::vector<std::pair<std::string, std::string>>* headers) {
+  std::string_view rest = head;
+  const std::string_view first = NextLine(&rest);
+  if (first.empty()) {
+    return Status::InvalidArgument("http: empty start line");
+  }
+  *start_line = std::string(first);
+  while (!rest.empty()) {
+    const std::string_view line = NextLine(&rest);
+    if (line.empty()) break;  // blank line terminates the head
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!Trim(name).size() || Trim(name).size() != name.size()) {
+      return Status::InvalidArgument("http: malformed header name");
+    }
+    headers->emplace_back(std::string(name),
+                          std::string(Trim(line.substr(colon + 1))));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ContentLength(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    size_t max_body_bytes) {
+  if (FindIn(headers, "Transfer-Encoding") != nullptr) {
+    return Status::InvalidArgument(
+        "http: transfer-encoding is not supported (content-length framing "
+        "only)");
+  }
+  const std::string* declared = nullptr;
+  for (const auto& [key, value] : headers) {
+    if (!EqualsIgnoreCase(key, "Content-Length")) continue;
+    if (declared != nullptr && *declared != value) {
+      return Status::InvalidArgument("http: conflicting content-length values");
+    }
+    declared = &value;
+  }
+  if (declared == nullptr) return size_t{0};
+  const std::string_view text = Trim(*declared);
+  if (text.empty() || text.size() > 18) {
+    return Status::InvalidArgument("http: malformed content-length");
+  }
+  size_t length = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("http: malformed content-length");
+    }
+    length = length * 10 + static_cast<size_t>(c - '0');
+  }
+  if (length > max_body_bytes) {
+    return Status::OutOfRange("http: declared body of " +
+                              std::to_string(length) + " bytes exceeds the " +
+                              std::to_string(max_body_bytes) + "-byte cap");
+  }
+  return length;
+}
+
+}  // namespace internal
+
+HttpStream::~HttpStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+HttpStream::HttpStream(HttpStream&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void HttpStream::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void HttpStream::ShutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Result<bool> HttpStream::Fill() {
+  char chunk[16 * 1024];
+  const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (got < 0) {
+    return Status::Internal(std::string("http: recv failed: ") +
+                            std::strerror(errno));
+  }
+  if (got == 0) return false;
+  buffer_.append(chunk, static_cast<size_t>(got));
+  return true;
+}
+
+Result<std::string> HttpStream::ReadHead(size_t max_head_bytes) {
+  size_t scanned = 0;
+  for (;;) {
+    // Look for the blank line in what we have (either line convention).
+    for (size_t i = scanned; i + 1 < buffer_.size(); ++i) {
+      const bool crlf2 = i + 3 < buffer_.size() &&
+                         buffer_.compare(i, 4, "\r\n\r\n") == 0;
+      const bool lf2 = buffer_.compare(i, 2, "\n\n") == 0;
+      if (!crlf2 && !lf2) continue;
+      const size_t head_end = i + (crlf2 ? 4 : 2);
+      std::string head = buffer_.substr(0, head_end);
+      buffer_.erase(0, head_end);
+      return head;
+    }
+    scanned = buffer_.size() > 3 ? buffer_.size() - 3 : 0;
+    if (buffer_.size() > max_head_bytes) {
+      return Status::InvalidArgument("http: request head exceeds the " +
+                                     std::to_string(max_head_bytes) +
+                                     "-byte cap");
+    }
+    auto more = Fill();
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      if (buffer_.empty()) {
+        // Clean keep-alive teardown between messages.
+        return Status::Cancelled("http: connection closed");
+      }
+      return Status::InvalidArgument("http: connection closed mid-head");
+    }
+  }
+}
+
+Status HttpStream::ReadBody(size_t length, std::string* out) {
+  while (buffer_.size() < length) {
+    auto more = Fill();
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      return Status::InvalidArgument(
+          "http: truncated body (connection closed after " +
+          std::to_string(buffer_.size()) + " of " + std::to_string(length) +
+          " bytes)");
+    }
+  }
+  out->assign(buffer_, 0, length);
+  buffer_.erase(0, length);
+  return Status::OK();
+}
+
+Result<HttpRequest> HttpStream::ReadRequest(size_t max_head_bytes,
+                                            size_t max_body_bytes) {
+  auto head = ReadHead(max_head_bytes);
+  if (!head.ok()) return head.status();
+
+  HttpRequest request;
+  std::string start_line;
+  STRATREC_RETURN_NOT_OK(
+      internal::ParseHead(*head, &start_line, &request.headers));
+
+  // METHOD SP TARGET SP VERSION, single spaces, no embedded whitespace.
+  const size_t sp1 = start_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      start_line.find(' ', sp2 + 1) != std::string::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || sp2 + 1 == start_line.size()) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  request.method = start_line.substr(0, sp1);
+  request.target = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = start_line.substr(sp2 + 1);
+  if (request.version.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("http: unsupported protocol version");
+  }
+
+  auto length = internal::ContentLength(request.headers, max_body_bytes);
+  if (!length.ok()) return length.status();
+  STRATREC_RETURN_NOT_OK(ReadBody(*length, &request.body));
+  return request;
+}
+
+Result<HttpResponse> HttpStream::ReadResponse(size_t max_body_bytes) {
+  auto head = ReadHead(/*max_head_bytes=*/64 * 1024);
+  if (!head.ok()) return head.status();
+
+  HttpResponse response;
+  std::string start_line;
+  STRATREC_RETURN_NOT_OK(
+      internal::ParseHead(*head, &start_line, &response.headers));
+
+  // HTTP/1.x SP CODE SP REASON (reason may itself contain spaces).
+  const size_t sp1 = start_line.find(' ');
+  if (sp1 == std::string::npos || start_line.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("http: malformed status line");
+  }
+  const size_t sp2 = start_line.find(' ', sp1 + 1);
+  const std::string code =
+      start_line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                          : sp2 - sp1 - 1);
+  if (code.size() != 3 || code.find_first_not_of("0123456789") !=
+                              std::string::npos) {
+    return Status::InvalidArgument("http: malformed status code");
+  }
+  response.status_code = std::stoi(code);
+  if (sp2 != std::string::npos) response.reason = start_line.substr(sp2 + 1);
+
+  auto length = internal::ContentLength(response.headers, max_body_bytes);
+  if (!length.ok()) return length.status();
+  STRATREC_RETURN_NOT_OK(ReadBody(*length, &response.body));
+  return response;
+}
+
+Status HttpStream::Write(std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t sent = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      return Status::Internal(std::string("http: send failed: ") +
+                              std::strerror(errno));
+    }
+    bytes.remove_prefix(static_cast<size_t>(sent));
+  }
+  return Status::OK();
+}
+
+}  // namespace stratrec::net

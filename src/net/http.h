@@ -1,0 +1,138 @@
+// Minimal HTTP/1.1 message layer for the serving tier: value types for one
+// request/response pair, deterministic serialization, and a buffered
+// blocking reader over a connected socket.
+//
+// This is deliberately not a general HTTP stack — it implements exactly the
+// slice the out-of-process front end needs (and nothing the container
+// doesn't ship): content-length framing only (no chunked transfer, no
+// trailers), CRLF or bare-LF line endings on input, keep-alive by default
+// with `Connection: close` honored, and hard caps on head and body sizes so
+// a misbehaving client fails fast with a 4xx instead of ballooning memory.
+//
+// Error taxonomy of HttpStream::ReadRequest, which the server maps straight
+// to transport-level responses without touching a Service:
+//
+//   kCancelled         clean close before the first byte of a message
+//                      (keep-alive teardown; not an error),
+//   kInvalidArgument   malformed head, truncated body, unsupported framing
+//                      -> 400,
+//   kOutOfRange        declared Content-Length above the cap -> 413.
+#ifndef STRATREC_NET_HTTP_H_
+#define STRATREC_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::net {
+
+/// One parsed request. Header names compare case-insensitively via
+/// FindHeader; insertion order is preserved (serialization is
+/// deterministic, like the wire codec).
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header named `name` (ASCII case-insensitive), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+  void AddHeader(std::string name, std::string value) {
+    headers.emplace_back(std::move(name), std::move(value));
+  }
+  /// True when this request asks the server to close after the response
+  /// (`Connection: close`, or an HTTP/1.0 peer without keep-alive).
+  bool WantsClose() const;
+};
+
+/// One response. SerializeResponse appends the Content-Length header; every
+/// other header travels verbatim in insertion order.
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason;  ///< empty = DefaultReason(status_code)
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+  void AddHeader(std::string name, std::string value) {
+    headers.emplace_back(std::move(name), std::move(value));
+  }
+};
+
+/// Canonical reason phrase ("OK", "Bad Request", ...); "Unknown" for codes
+/// the serving tier never emits.
+const char* DefaultReason(int status_code);
+
+/// Wire form of a request/response, Content-Length included. Deterministic:
+/// equal messages serialize to identical bytes.
+std::string SerializeRequest(const HttpRequest& request);
+std::string SerializeResponse(const HttpResponse& response);
+
+/// A connected socket plus the read-ahead buffer that keep-alive framing
+/// needs (bytes after one message's body belong to the next message).
+/// Owns the fd. Reading and writing are independently thread-safe only in
+/// the one-reader/one-writer sense the server uses; the struct itself adds
+/// no locking.
+class HttpStream {
+ public:
+  /// Takes ownership of a connected socket.
+  explicit HttpStream(int fd) : fd_(fd) {}
+  ~HttpStream();
+  HttpStream(HttpStream&& other) noexcept;
+  HttpStream& operator=(HttpStream&&) = delete;
+  HttpStream(const HttpStream&) = delete;
+  HttpStream& operator=(const HttpStream&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Blocks until one full request is framed (see the file comment for the
+  /// error taxonomy).
+  Result<HttpRequest> ReadRequest(size_t max_head_bytes, size_t max_body_bytes);
+  /// Client side: blocks until one full response is framed.
+  Result<HttpResponse> ReadResponse(size_t max_body_bytes);
+
+  /// Writes all of `bytes` (send with SIGPIPE suppressed).
+  Status Write(std::string_view bytes);
+
+  /// Unblocks any in-flight read/write from another thread (shutdown
+  /// RDWR); the fd stays open until destruction.
+  void ShutdownBoth();
+  /// Half-close: no more writes from this side (shutdown WR). The peer
+  /// sees EOF after the bytes already sent — how a client signals a
+  /// deliberately truncated body.
+  void ShutdownSend();
+
+ private:
+  /// Reads up to and including the blank line; returns the head bytes.
+  Result<std::string> ReadHead(size_t max_head_bytes);
+  /// Moves exactly `length` body bytes into `out`.
+  Status ReadBody(size_t length, std::string* out);
+  /// Refills buffer_ from the socket. False on clean EOF.
+  Result<bool> Fill();
+
+  int fd_;
+  std::string buffer_;  ///< read-ahead past the last framed message
+};
+
+namespace internal {
+/// Shared head parsing, exposed for the transport tests: splits start-line
+/// + headers, enforces the framing rules. `start_line` receives the
+/// untouched first line.
+Status ParseHead(std::string_view head, std::string* start_line,
+                 std::vector<std::pair<std::string, std::string>>* headers);
+/// Strict Content-Length extraction: 0 when absent, kInvalidArgument on
+/// malformed/duplicate-mismatched values or chunked transfer-encoding,
+/// kOutOfRange above `max_body_bytes`.
+Result<size_t> ContentLength(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    size_t max_body_bytes);
+}  // namespace internal
+
+}  // namespace stratrec::net
+
+#endif  // STRATREC_NET_HTTP_H_

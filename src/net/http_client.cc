@@ -1,0 +1,78 @@
+#include "src/net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace stratrec::net {
+
+namespace {
+// Responses carry full reports; keep the client cap comfortably above the
+// server's request cap.
+constexpr size_t kMaxResponseBody = 64 * 1024 * 1024;
+}  // namespace
+
+Result<HttpClient> HttpClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            ") failed: " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return HttpClient(std::make_unique<HttpStream>(fd));
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
+  STRATREC_RETURN_NOT_OK(stream_->Write(SerializeRequest(request)));
+  return stream_->ReadResponse(kMaxResponseBody);
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  return stream_->Write(bytes);
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  return stream_->ReadResponse(kMaxResponseBody);
+}
+
+void HttpClient::FinishSending() { stream_->ShutdownSend(); }
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return RoundTrip(request);
+}
+
+Result<HttpResponse> HttpClient::PostJson(const std::string& target,
+                                          std::string body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.AddHeader("Content-Type", "application/json");
+  request.body = std::move(body);
+  return RoundTrip(request);
+}
+
+}  // namespace stratrec::net

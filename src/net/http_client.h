@@ -1,0 +1,46 @@
+// Blocking HTTP/1.1 client for the serving tier's bench and tests. One
+// keep-alive connection per HttpClient; RoundTrip frames a request,
+// writes it, and blocks for the in-order response — exactly the shape a
+// closed-loop load driver wants. SendRaw/ReadResponse exist for the
+// transport tests, which need to put deliberately malformed bytes on the
+// wire.
+#ifndef STRATREC_NET_HTTP_CLIENT_H_
+#define STRATREC_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/net/http.h"
+
+namespace stratrec::net {
+
+class HttpClient {
+ public:
+  static Result<HttpClient> Connect(const std::string& host, uint16_t port);
+
+  /// Serialize + write + read one response. The connection stays usable
+  /// afterwards unless the server answered `Connection: close`.
+  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+
+  /// Raw-bytes escape hatch for malformed-input tests.
+  Status SendRaw(std::string_view bytes);
+  Result<HttpResponse> ReadResponse();
+  /// Half-close the send side (the truncated-body signal).
+  void FinishSending();
+
+  /// Convenience builders for the /v1 endpoints.
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> PostJson(const std::string& target, std::string body);
+
+ private:
+  explicit HttpClient(std::unique_ptr<HttpStream> stream)
+      : stream_(std::move(stream)) {}
+  std::unique_ptr<HttpStream> stream_;
+};
+
+}  // namespace stratrec::net
+
+#endif  // STRATREC_NET_HTTP_CLIENT_H_

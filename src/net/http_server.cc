@@ -1,0 +1,282 @@
+#include "src/net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace stratrec::net {
+
+namespace internal {
+
+namespace {
+
+/// One queued response position. Slots complete in any order but flush in
+/// request order.
+struct Slot {
+  bool ready = false;
+  bool close_after = false;
+  std::string bytes;
+};
+
+struct Connection {
+  explicit Connection(int fd) : stream(fd) {}
+
+  HttpStream stream;
+  std::mutex mutex;  ///< guards slots/writing/dead
+  std::deque<std::shared_ptr<Slot>> slots;
+  bool writing = false;  ///< a thread is mid-Write; others back off
+  bool dead = false;     ///< write failed or close_after written
+};
+
+/// Writes every ready head-of-queue slot. Runs on whichever thread
+/// completed the head slot; `writing` keeps concurrent completers from
+/// interleaving bytes, and the queue keeps responses in request order.
+void FlushConnection(const std::shared_ptr<Connection>& connection) {
+  for (;;) {
+    std::string bytes;
+    bool close_after = false;
+    {
+      std::lock_guard<std::mutex> lock(connection->mutex);
+      if (connection->writing || connection->dead ||
+          connection->slots.empty() || !connection->slots.front()->ready) {
+        return;
+      }
+      std::shared_ptr<Slot> slot = std::move(connection->slots.front());
+      connection->slots.pop_front();
+      bytes = std::move(slot->bytes);
+      close_after = slot->close_after;
+      connection->writing = true;
+    }
+    const Status written = connection->stream.Write(bytes);
+    const bool die = !written.ok() || close_after;
+    {
+      std::lock_guard<std::mutex> lock(connection->mutex);
+      connection->writing = false;
+      if (die) connection->dead = true;
+    }
+    if (die) {
+      connection->stream.ShutdownBoth();
+      return;
+    }
+  }
+}
+
+std::string ErrorBody(const std::string& code, const std::string& message) {
+  json::Value error = json::Value::Object();
+  error.Add("code", code);
+  error.Add("message", message);
+  json::Value body = json::Value::Object();
+  body.Add("error", std::move(error));
+  return json::Dump(body);
+}
+
+struct ConnectionEntry {
+  std::shared_ptr<Connection> connection;
+  std::shared_ptr<std::atomic<bool>> finished;
+  std::thread reader;
+};
+
+}  // namespace
+
+struct ServerState {
+  HttpServerConfig config;
+  HttpHandler handler;
+  int listen_fd = -1;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  std::thread acceptor;
+  std::mutex connections_mutex;
+  std::vector<ConnectionEntry> connections;
+
+  ~ServerState() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (stopped.exchange(true)) return;
+    stopping.store(true);
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    if (acceptor.joinable()) acceptor.join();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    std::vector<ConnectionEntry> drained;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      drained.swap(connections);
+    }
+    for (ConnectionEntry& entry : drained) {
+      entry.connection->stream.ShutdownBoth();
+    }
+    for (ConnectionEntry& entry : drained) {
+      if (entry.reader.joinable()) entry.reader.join();
+    }
+  }
+
+  /// Transport-level refusal: answered by the server, handler untouched.
+  void RefuseAndClose(const std::shared_ptr<Connection>& connection,
+                      const Status& why) {
+    HttpResponse response;
+    response.status_code =
+        why.code() == StatusCode::kOutOfRange ? 413 : 400;
+    response.AddHeader("Content-Type", "application/json");
+    response.AddHeader("Connection", "close");
+    response.body = ErrorBody(StatusCodeName(why.code()), why.message());
+    auto slot = std::make_shared<Slot>();
+    slot->ready = true;
+    slot->close_after = true;
+    slot->bytes = SerializeResponse(response);
+    {
+      std::lock_guard<std::mutex> lock(connection->mutex);
+      if (connection->dead) return;
+      connection->slots.push_back(std::move(slot));
+    }
+    FlushConnection(connection);
+  }
+
+  void ServeConnection(const std::shared_ptr<Connection>& connection) {
+    for (;;) {
+      auto request = connection->stream.ReadRequest(config.max_head_bytes,
+                                                    config.max_body_bytes);
+      if (!request.ok()) {
+        // kCancelled is the clean keep-alive teardown; everything else is a
+        // framing error the peer gets told about.
+        if (request.status().code() != StatusCode::kCancelled) {
+          RefuseAndClose(connection, request.status());
+        }
+        return;
+      }
+      const bool close_after = request->WantsClose();
+      auto slot = std::make_shared<Slot>();
+      slot->close_after = close_after;
+      {
+        std::lock_guard<std::mutex> lock(connection->mutex);
+        if (connection->dead) return;
+        connection->slots.push_back(slot);
+      }
+      handler(*request,
+              [connection, slot](HttpResponse response) {
+                {
+                  std::lock_guard<std::mutex> lock(connection->mutex);
+                  if (slot->ready) return;  // double-complete: drop
+                  if (slot->close_after &&
+                      response.FindHeader("Connection") == nullptr) {
+                    response.AddHeader("Connection", "close");
+                  }
+                  slot->bytes = SerializeResponse(response);
+                  slot->ready = true;
+                }
+                FlushConnection(connection);
+              });
+      // After a Connection: close request the peer sends nothing further.
+      if (close_after) return;
+    }
+  }
+
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (stopping.load()) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // listener gone
+      }
+      if (stopping.load()) {
+        ::close(fd);
+        return;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto connection = std::make_shared<Connection>(fd);
+      auto finished = std::make_shared<std::atomic<bool>>(false);
+      std::thread reader([this, connection, finished]() {
+        ServeConnection(connection);
+        finished->store(true);
+      });
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      // Reap connections whose reader already exited, so a long-lived
+      // server doesn't accumulate one entry per finished connection.
+      for (size_t i = connections.size(); i-- > 0;) {
+        if (!connections[i].finished->load()) continue;
+        if (connections[i].reader.joinable()) connections[i].reader.join();
+        connections.erase(connections.begin() + static_cast<ptrdiff_t>(i));
+      }
+      connections.push_back(ConnectionEntry{std::move(connection),
+                                            std::move(finished),
+                                            std::move(reader)});
+    }
+  }
+};
+
+}  // namespace internal
+
+Result<HttpServer> HttpServer::Start(HttpHandler handler,
+                                     HttpServerConfig config) {
+  if (!handler) {
+    return Status::InvalidArgument("http server needs a handler");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable bind address: " + config.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(" + config.host + ":" +
+                            std::to_string(config.port) + ") failed: " + why);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen() failed: " + why);
+  }
+  // Resolve an ephemeral port request to the bound port.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname() failed: " + why);
+  }
+  config.port = ntohs(bound.sin_port);
+
+  auto state = std::make_shared<internal::ServerState>();
+  state->config = std::move(config);
+  state->handler = std::move(handler);
+  state->listen_fd = fd;
+  internal::ServerState* raw = state.get();
+  state->acceptor = std::thread([raw]() { raw->AcceptLoop(); });
+  return HttpServer(std::move(state));
+}
+
+uint16_t HttpServer::port() const { return state_->config.port; }
+
+const HttpServerConfig& HttpServer::config() const { return state_->config; }
+
+void HttpServer::Stop() { state_->StopAndJoin(); }
+
+}  // namespace stratrec::net

@@ -1,0 +1,84 @@
+// HttpServer — the blocking-socket HTTP/1.1 front of the serving tier.
+//
+// Dependency-free by construction (POSIX sockets + std::thread; nothing the
+// container doesn't already ship): one accept thread plus one reader thread
+// per connection. What keeps a transport thread from ever blocking on a
+// solve is the responder protocol:
+//
+//   * the reader frames a request and calls the handler with a Responder,
+//   * the handler either answers inline (health, stats, transport 4xx) or
+//     stashes the Responder in a Ticket::OnComplete callback and returns —
+//     the reader immediately goes back to framing the next request,
+//   * whichever thread completes the job (a pool worker, usually) invokes
+//     the Responder, which serializes the response into the request's
+//     *slot*; slots form a per-connection queue and are flushed strictly in
+//     request order, so HTTP/1.1 pipelining and keep-alive stay correct
+//     even when a later request finishes first.
+//
+// Transport-level failures (malformed head, truncated body, oversized
+// Content-Length) are answered by the server itself — 400/413 with a JSON
+// error body and `Connection: close` — without invoking the handler, so a
+// bad frame never reaches a Service. Stop() shuts every socket down,
+// unblocking the reader threads, and joins them; Responders held by
+// in-flight jobs stay safe after Stop (they write into a dead connection
+// and are dropped).
+#ifndef STRATREC_NET_HTTP_SERVER_H_
+#define STRATREC_NET_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/http.h"
+
+namespace stratrec::net {
+
+namespace internal {
+struct ServerState;
+}  // namespace internal
+
+struct HttpServerConfig {
+  /// Bind address. The serving tier is loopback-only by default; binding
+  /// wider is a deliberate caller decision.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by HttpServer::port().
+  uint16_t port = 0;
+  size_t max_head_bytes = 64 * 1024;
+  /// Requests declaring more than this are refused with 413 before the
+  /// body is read.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Completes one request; invoke exactly once. Safe to call from any
+/// thread, including executor pool workers.
+using Responder = std::function<void(HttpResponse)>;
+/// Runs on the connection's reader thread; must not block on request work
+/// (hand the Responder to a ticket callback instead).
+using HttpHandler = std::function<void(const HttpRequest&, Responder)>;
+
+/// Value-semantic handle over one listening server. The last handle stops
+/// and joins the server.
+class HttpServer {
+ public:
+  static Result<HttpServer> Start(HttpHandler handler,
+                                  HttpServerConfig config = {});
+
+  /// The bound port (resolves config.port == 0).
+  uint16_t port() const;
+  const HttpServerConfig& config() const;
+
+  /// Stops accepting, shuts down every connection, joins all transport
+  /// threads. Idempotent; also runs when the last handle drops.
+  void Stop();
+
+ private:
+  explicit HttpServer(std::shared_ptr<internal::ServerState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::ServerState> state_;
+};
+
+}  // namespace stratrec::net
+
+#endif  // STRATREC_NET_HTTP_SERVER_H_

@@ -1,0 +1,159 @@
+#include "src/net/serving.h"
+
+#include <string>
+#include <utility>
+
+#include "src/api/codec.h"
+#include "src/common/json.h"
+
+namespace stratrec::net {
+
+namespace {
+
+HttpResponse JsonResponse(int status_code, std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.AddHeader("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+std::string ErrorBody(const Status& status) {
+  json::Value body = json::Value::Object();
+  body.Add("error", wire::Encode(status));
+  return json::Dump(body);
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusFor(status), ErrorBody(status));
+}
+
+HttpResponse MethodNotAllowed(const char* allow) {
+  HttpResponse response = JsonResponse(
+      405, ErrorBody(Status::InvalidArgument(
+               std::string("method not allowed; use ") + allow)));
+  response.AddHeader("Allow", allow);
+  return response;
+}
+
+/// POST /v1/batch and /v1/sweep share everything but the codec pair and the
+/// submit call; `Submit` is one of the two lambdas below.
+template <typename Request, typename Report, typename Decode, typename Submit>
+void HandleSolve(const ShardRouter& router, const HttpRequest& http,
+                 const Responder& respond, Decode decode, Submit submit) {
+  if (http.method != "POST") {
+    respond(MethodNotAllowed("POST"));
+    return;
+  }
+  // Admission first: a shedding server must not pay body parsing for
+  // requests it is about to refuse.
+  if (!router.TryAdmit()) {
+    router.NoteRetryAfterHint();
+    HttpResponse response = JsonResponse(
+        429, ErrorBody(Status::FailedPrecondition(
+                 "queue depth reached the admission ceiling; retry")));
+    response.AddHeader("Retry-After", "1");
+    respond(response);
+    return;
+  }
+  auto parsed = json::Parse(http.body);
+  if (!parsed.ok()) {
+    respond(ErrorResponse(parsed.status()));
+    return;
+  }
+  Result<Request> decoded = decode(*parsed);
+  if (!decoded.ok()) {
+    respond(ErrorResponse(decoded.status()));
+    return;
+  }
+  api::Ticket<Report> ticket = submit(std::move(*decoded));
+  // The responder rides the completion callback; this transport thread is
+  // free as soon as the enqueue returns. The callback captures only the
+  // responder (connection state), never the router — a pool worker must
+  // not be the one to drop the last service handle.
+  const Status registered =
+      ticket.OnComplete([respond](const Result<Report>& outcome) {
+        if (!outcome.ok()) {
+          respond(ErrorResponse(outcome.status()));
+          return;
+        }
+        respond(JsonResponse(200, json::Dump(wire::Encode(*outcome))));
+      });
+  if (!registered.ok()) respond(ErrorResponse(registered));
+}
+
+}  // namespace
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kCancelled:
+      return 409;
+    case StatusCode::kInfeasible:
+      return 422;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+HttpHandler MakeServingHandler(ShardRouter router) {
+  return [router = std::move(router)](const HttpRequest& http,
+                                      Responder respond) {
+    if (http.target == "/healthz") {
+      if (http.method != "GET") {
+        respond(MethodNotAllowed("GET"));
+        return;
+      }
+      respond(JsonResponse(200, "{\"status\":\"ok\"}"));
+      return;
+    }
+    if (http.target == "/v1/stats") {
+      if (http.method != "GET") {
+        respond(MethodNotAllowed("GET"));
+        return;
+      }
+      respond(JsonResponse(200, json::Dump(wire::Encode(router.stats()))));
+      return;
+    }
+    if (http.target == "/v1/batch") {
+      HandleSolve<api::BatchRequest, api::BatchReport>(
+          router, http, respond,
+          [](const json::Value& value) {
+            return wire::DecodeBatchRequest(value);
+          },
+          [&router](api::BatchRequest request) {
+            return router.SubmitBatchAsync(std::move(request));
+          });
+      return;
+    }
+    if (http.target == "/v1/sweep") {
+      HandleSolve<api::SweepRequest, api::SweepReport>(
+          router, http, respond,
+          [](const json::Value& value) {
+            return wire::DecodeSweepRequest(value);
+          },
+          [&router](api::SweepRequest request) {
+            return router.RunSweepAsync(std::move(request));
+          });
+      return;
+    }
+    respond(JsonResponse(
+        404, ErrorBody(Status::NotFound("no route for " + http.method + " " +
+                                        http.target))));
+  };
+}
+
+Result<HttpServer> StartServing(ShardRouter router, HttpServerConfig config) {
+  return HttpServer::Start(MakeServingHandler(std::move(router)),
+                           std::move(config));
+}
+
+}  // namespace stratrec::net

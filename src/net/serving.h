@@ -1,0 +1,45 @@
+// The /v1 serving endpoints: HTTP front end over a ShardRouter.
+//
+// Routes (bodies are wire-codec JSON — the same encoding the journal
+// records, so a journal line can be replayed with curl verbatim):
+//
+//   POST /v1/batch   wire::BatchRequest  -> 200 wire::BatchReport
+//   POST /v1/sweep   wire::SweepRequest  -> 200 wire::SweepReport
+//   GET  /v1/stats   -> 200 wire::ServiceStats (router + shard counters)
+//   GET  /healthz    -> 200 {"status":"ok"}
+//
+// A solve never blocks a transport thread: the handler maps the request
+// onto SubmitBatchAsync / RunSweepAsync and hands the Responder to the
+// ticket's completion callback; the response is written by the pool worker
+// that finished the job, in request order per connection (http_server.h).
+//
+// Failure mapping (HttpStatusFor): kInvalidArgument / kOutOfRange -> 400,
+// kNotFound -> 404, kFailedPrecondition / kCancelled -> 409,
+// kInfeasible -> 422, kInternal -> 500. Per-request infeasibility inside a
+// batch is in-band (the report's unsatisfied/alternatives sets), not an
+// HTTP error. Admission control happens before the body is even parsed:
+// when ShardRouter::TryAdmit refuses, the handler answers 429 with
+// `Retry-After: 1` and counts the hint.
+#ifndef STRATREC_NET_SERVING_H_
+#define STRATREC_NET_SERVING_H_
+
+#include "src/common/status.h"
+#include "src/net/http_server.h"
+#include "src/router/shard_router.h"
+
+namespace stratrec::net {
+
+/// HTTP status for a request-level failure from the router/service stack.
+int HttpStatusFor(const Status& status);
+
+/// The /v1 route handler over `router` (a value handle; the handler keeps
+/// the router alive).
+HttpHandler MakeServingHandler(ShardRouter router);
+
+/// MakeServingHandler + HttpServer::Start.
+Result<HttpServer> StartServing(ShardRouter router,
+                                HttpServerConfig config = {});
+
+}  // namespace stratrec::net
+
+#endif  // STRATREC_NET_SERVING_H_

@@ -255,6 +255,8 @@ api::ServiceConfig RandomConfig(Rng& rng) {
   config.journal.path = RandomString(rng);
   config.journal.record_cancelled = rng.Bernoulli(0.5);
   config.journal.flush_every_record = rng.Bernoulli(0.5);
+  config.journal.max_segment_bytes =
+      rng.Bernoulli(0.5) ? 0 : static_cast<size_t>(rng.UniformInt(1, 1 << 20));
   config.availability = RandomSpec(rng);
   return config;
 }
@@ -274,6 +276,8 @@ api::ServiceStats RandomServiceStats(Rng& rng) {
   stats.cache_hits = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.cache_misses = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.index_build_nanos = static_cast<size_t>(rng.UniformInt(0, 1 << 30));
+  stats.rejected_requests = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.retry_after_hints = static_cast<size_t>(rng.UniformInt(0, 100000));
   return stats;
 }
 
@@ -411,12 +415,15 @@ TEST(Codec, FieldNamesAreStable) {
   stats.cache_hits = 11;
   stats.cache_misses = 12;
   stats.index_build_nanos = 13;
+  stats.rejected_requests = 14;
+  stats.retry_after_hints = 15;
   EXPECT_EQ(json::Dump(Encode(stats)),
             "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
             "\"stream_events\":4,\"requests_processed\":5,\"cancelled\":6,"
             "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
             "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
-            "\"index_build_nanos\":13}");
+            "\"index_build_nanos\":13,\"rejected_requests\":14,"
+            "\"retry_after_hints\":15}");
 }
 
 TEST(Codec, StatsRecordDecodesIntoTheTrace) {

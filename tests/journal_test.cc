@@ -106,6 +106,103 @@ TEST(Journal, ReaderValidatesHeaderAndDropsTruncatedTail) {
 }
 
 // ---------------------------------------------------------------------------
+// Segment rotation.
+// ---------------------------------------------------------------------------
+
+// TempDir persists across runs; stale segments from an earlier run must not
+// leak into a rotation chain read.
+void RemoveSegments(const std::string& path) {
+  std::remove(path.c_str());
+  for (int i = 1; i <= 32; ++i) {
+    std::remove((path + "." + std::to_string(i)).c_str());
+  }
+}
+
+TEST(Journal, SegmentRotationRollsAndReadsBackInOrder) {
+  const std::string path = TempPath("rotation");
+  RemoveSegments(path);
+  const std::string record(40, 'r');  // uniform 41-byte lines
+  {
+    auto writer = JournalWriter::Open(path, /*flush_every_record=*/true,
+                                      /*max_segment_bytes=*/128);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*writer)->Append(record + std::to_string(i)).ok());
+    }
+    EXPECT_EQ((*writer)->records_written(), 10u);
+  }
+  // Rotation actually happened: the base file holds only a prefix, and at
+  // least one numbered segment exists with its own valid header.
+  auto base = JournalReader::ReadRecords(path);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_LT(base->size(), 10u);
+  auto second = JournalReader::ReadRecords(path + ".1");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(second->size(), 0u);
+
+  // The chain read returns every record in write order.
+  auto all = JournalReader::ReadAllSegments(path);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*all)[i], record + std::to_string(i));
+  }
+}
+
+TEST(Journal, OversizedRecordGetsASegmentToItself) {
+  const std::string path = TempPath("oversized");
+  RemoveSegments(path);
+  const std::string huge(500, 'h');  // larger than the whole segment bound
+  {
+    auto writer = JournalWriter::Open(path, true, /*max_segment_bytes=*/64);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(huge).ok());   // stays: segment was empty
+    ASSERT_TRUE((*writer)->Append("tiny").ok());  // rolls first
+  }
+  auto base = JournalReader::ReadRecords(path);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 1u);
+  EXPECT_EQ(base->front(), huge);
+  auto all = JournalReader::ReadAllSegments(path);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ(all->back(), "tiny");
+}
+
+TEST(Journal, ServiceTraceSpansSegmentsAndStillReplays) {
+  const std::string path = TempPath("segmented_trace");
+  RemoveSegments(path);
+  ServiceConfig config;
+  config.batch.aggregation = core::AggregationMode::kMax;
+  config.journal.path = path;
+  // Small enough that the config/catalog records and three batch pairs
+  // cannot share one segment.
+  config.journal.max_segment_bytes = 2048;
+  {
+    auto service = Service::Create(Table1Catalog(), config);
+    ASSERT_TRUE(service.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(service->SubmitBatch(Table1Batch()).ok());
+    }
+  }
+  ASSERT_TRUE(JournalReader::ReadRecords(path + ".1").ok())
+      << "expected the trace to roll past the first segment";
+
+  // ReadTraceFile follows the chain: the full workload is one trace.
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->has_config);
+  EXPECT_TRUE(trace->has_catalog);
+  EXPECT_EQ(trace->config.journal.max_segment_bytes, 2048u);
+  ASSERT_EQ(trace->pairs.size(), 3u);
+
+  auto replayed = wire::ReplayTrace(*trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed->replayed, 3u);
+  EXPECT_EQ(replayed->matched, 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Service taps.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,254 @@
+// The shard router's correctness anchor: a ShardRouter over {1, 2, 4}
+// shards returns *byte-identical* reports to a single unsharded Service for
+// the same request trace, at pool sizes {1, 4} — asserted on the wire-codec
+// encoding (json::Dump(wire::Encode(report))), so every field, every
+// double bit, and every ordering is covered. The trace exercises all three
+// built-in batch algorithms, both aggregation modes, the custom-solver
+// fallback ("weighted"), alternatives on and off, multiple ADPaR backends,
+// in-band infeasibility (k > |S|), and whole-batch validation failures
+// (k < 1), plus sweeps over the solver family.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/api/codec.h"
+#include "src/api/service.h"
+#include "src/common/json.h"
+#include "src/router/shard_router.h"
+
+namespace stratrec {
+namespace {
+
+core::Catalog WideCatalog() {
+  // Ten strategies so the four-shard split is 3/3/2/2; coefficients from a
+  // fixed seed, clamped into the normalized space by EstimateParams.
+  static const char* kStages[] = {
+      "SIM-COL-CRO", "SIM-COL-HYB", "SIM-IND-CRO", "SIM-IND-HYB",
+      "SEQ-COL-CRO", "SEQ-COL-HYB", "SEQ-IND-CRO", "SEQ-IND-HYB",
+  };
+  std::mt19937 rng(20200614);  // SIGMOD'20
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  core::Catalog catalog;
+  for (int i = 0; i < 10; ++i) {
+    catalog.strategies.push_back(
+        {"s" + std::to_string(i),
+         core::ParseStageName(kStages[i % 8]).value()});
+    core::StrategyProfile profile;
+    profile.quality = {0.8 * unit(rng), 0.2 * unit(rng)};
+    profile.cost = {0.9 * unit(rng), 0.1 * unit(rng)};
+    profile.latency = {-0.6 * unit(rng), 0.3 + 0.5 * unit(rng)};
+    catalog.profiles.push_back(profile);
+  }
+  return catalog;
+}
+
+std::vector<core::DeploymentRequest> MixedRequests() {
+  // Thresholds straddle satisfiable and unsatisfiable so the alternatives
+  // (ADPaR) leg runs; ks cover the skyband spread.
+  return {
+      {"d1", {0.40, 0.50, 0.60}, 1},
+      {"d2", {0.90, 0.05, 0.10}, 2},  // near-impossible: drives alternatives
+      {"d3", {0.30, 0.70, 0.80}, 3},
+      {"d4", {0.85, 0.15, 0.20}, 4},
+      {"d5", {0.10, 0.95, 0.99}, 2},
+  };
+}
+
+/// One mixed trace; every request pins its id so reports are comparable
+/// byte for byte.
+std::vector<api::BatchRequest> BatchTrace() {
+  std::vector<api::BatchRequest> trace;
+
+  api::BatchRequest defaults;  // batchstrat, kSum, alternatives on
+  defaults.requests = MixedRequests();
+  defaults.availability = api::AvailabilitySpec::Fixed(0.8);
+  defaults.request_id = "b-defaults";
+  trace.push_back(defaults);
+
+  api::BatchRequest baseline = defaults;
+  baseline.algorithm = "baseline-g";
+  baseline.aggregation = core::AggregationMode::kMax;
+  baseline.availability = api::AvailabilitySpec::Fixed(0.55);
+  baseline.request_id = "b-baseline-g";
+  trace.push_back(baseline);
+
+  api::BatchRequest brute = defaults;
+  brute.algorithm = "brute-force";
+  brute.availability = api::AvailabilitySpec::Fixed(0.37);
+  brute.request_id = "b-brute";
+  trace.push_back(brute);
+
+  api::BatchRequest weighted = defaults;  // custom-solver fallback path
+  weighted.algorithm = "weighted";
+  weighted.request_id = "b-weighted";
+  trace.push_back(weighted);
+
+  api::BatchRequest no_alternatives = defaults;
+  no_alternatives.recommend_alternatives = false;
+  no_alternatives.aggregation = core::AggregationMode::kMax;
+  no_alternatives.request_id = "b-no-alt";
+  trace.push_back(no_alternatives);
+
+  api::BatchRequest oversized = defaults;  // k > |S|: in-band infeasibility
+  oversized.requests.push_back({"d-wide", {0.5, 0.5, 0.5}, 15});
+  oversized.request_id = "b-oversized-k";
+  trace.push_back(oversized);
+
+  api::BatchRequest invalid = defaults;  // k < 1 fails the whole batch
+  invalid.requests.push_back({"d-bad", {0.5, 0.5, 0.5}, 0});
+  invalid.request_id = "b-invalid-k";
+  trace.push_back(invalid);
+
+  return trace;
+}
+
+std::vector<api::SweepRequest> SweepTrace() {
+  std::vector<api::SweepRequest> trace;
+
+  api::SweepRequest exact;  // default solver = "exact"
+  exact.targets = {{"t1", {0.9, 0.1, 0.1}, 1},
+                   {"t2", {0.5, 0.9, 0.9}, 2},
+                   {"t3", {0.7, 0.3, 0.4}, 4},
+                   {"t-zero", {0.5, 0.5, 0.5}, 0},    // per-cell invalid
+                   {"t-wide", {0.5, 0.5, 0.5}, 20}};  // per-cell infeasible
+  exact.availability = api::AvailabilitySpec::Fixed(0.66);
+  exact.request_id = "s-exact";
+  trace.push_back(exact);
+
+  api::SweepRequest family = exact;
+  family.solvers = {"exact", "paper-sweep", "baseline2", "baseline3"};
+  family.availability = api::AvailabilitySpec::Fixed(0.41);
+  family.request_id = "s-family";
+  trace.push_back(family);
+
+  return trace;
+}
+
+/// Runs the whole trace and flattens every outcome to comparable text:
+/// the encoded report for OK, the status string otherwise.
+template <typename Tier>
+std::vector<std::string> RunTrace(const Tier& tier) {
+  std::vector<std::string> out;
+  for (const api::BatchRequest& request : BatchTrace()) {
+    auto report = tier.SubmitBatch(request);
+    out.push_back(report.ok() ? json::Dump(wire::Encode(*report))
+                              : report.status().ToString());
+  }
+  for (const api::SweepRequest& request : SweepTrace()) {
+    auto report = tier.RunSweep(request);
+    out.push_back(report.ok() ? json::Dump(wire::Encode(*report))
+                              : report.status().ToString());
+  }
+  return out;
+}
+
+TEST(RouterProperty, ShardedReportsAreByteIdenticalToUnsharded) {
+  const core::Catalog catalog = WideCatalog();
+  for (const size_t pool : {size_t{1}, size_t{4}}) {
+    api::ServiceConfig config;
+    config.execution.worker_threads = pool;
+    config.cache.availability_quantum = 0.05;
+
+    auto unsharded = api::Service::Create(catalog, config);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    const std::vector<std::string> expected = RunTrace(*unsharded);
+
+    // Sanity on the trace itself: it exercises both outcome kinds.
+    EXPECT_NE(expected[6].find("k must be >= 1"), std::string::npos)
+        << "the invalid-k case should fail the whole batch";
+    EXPECT_EQ(expected[0].rfind("{", 0), 0u);
+
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+      RouterConfig router_config;
+      router_config.shards = shards;
+      router_config.service = config;
+      router_config.router_threads = pool;
+      auto router = ShardRouter::Create(catalog, router_config);
+      ASSERT_TRUE(router.ok()) << router.status().ToString();
+      EXPECT_EQ(router->shards(), shards);
+
+      const std::vector<std::string> actual = RunTrace(*router);
+      ASSERT_EQ(actual.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i])
+            << "trace case " << i << " diverged at shards=" << shards
+            << " pool=" << pool;
+      }
+    }
+  }
+}
+
+TEST(RouterProperty, RouterCountsItsOwnTraffic) {
+  RouterConfig config;
+  config.shards = 2;
+  config.service.execution.worker_threads = 2;
+  auto router = ShardRouter::Create(WideCatalog(), config);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  api::BatchRequest batch;
+  batch.requests = MixedRequests();
+  batch.availability = api::AvailabilitySpec::Fixed(0.8);
+  ASSERT_TRUE(router->SubmitBatch(batch).ok());
+
+  api::SweepRequest sweep;
+  sweep.targets = {{"t1", {0.9, 0.1, 0.1}, 1}};
+  sweep.availability = api::AvailabilitySpec::Fixed(0.8);
+  ASSERT_TRUE(router->RunSweep(sweep).ok());
+
+  const api::ServiceStats stats = router->stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.requests_processed, MixedRequests().size());
+  // Every scatter warms (or hits) the shard snapshot caches.
+  EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(RouterProperty, ServiceAssignedIdsMatchTheUnshardedFormat) {
+  RouterConfig config;
+  config.shards = 2;
+  auto router = ShardRouter::Create(WideCatalog(), config);
+  ASSERT_TRUE(router.ok());
+  api::BatchRequest batch;
+  batch.requests = MixedRequests();
+  batch.availability = api::AvailabilitySpec::Fixed(0.8);
+  auto report = router->SubmitBatch(batch);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->request_id, "batch-000001");
+}
+
+TEST(RouterProperty, CreateRejectsDegenerateShapes) {
+  RouterConfig config;
+  config.shards = 0;
+  EXPECT_EQ(ShardRouter::Create(WideCatalog(), config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.shards = 11;  // one more than the catalog holds
+  EXPECT_EQ(ShardRouter::Create(WideCatalog(), config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RouterProperty, AvailabilityModelsResolveOnTheRouter) {
+  RouterConfig config;
+  config.shards = 3;
+  auto router = ShardRouter::Create(WideCatalog(), config);
+  ASSERT_TRUE(router.ok());
+  auto night = core::AvailabilityModel::FromPmf({{0.35, 1.0}});
+  ASSERT_TRUE(night.ok());
+  ASSERT_TRUE(router->RegisterAvailabilityModel("night-shift", *night).ok());
+  EXPECT_EQ(router->RegisterAvailabilityModel("night-shift", *night).code(),
+            StatusCode::kFailedPrecondition);
+
+  api::BatchRequest batch;
+  batch.requests = MixedRequests();
+  batch.availability = api::AvailabilitySpec::Named("night-shift");
+  auto report = router->SubmitBatch(batch);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->availability, 0.35);
+
+  batch.availability = api::AvailabilitySpec::Named("missing");
+  EXPECT_EQ(router->SubmitBatch(batch).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace stratrec
