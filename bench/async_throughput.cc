@@ -43,6 +43,12 @@ struct RunResult {
   // and so a regression that makes the service shed load is loud.
   size_t rejected = 0;
   size_t retry_hints = 0;
+  // Stream-tier counters, same contract as the admission pair: a batch-only
+  // workload must leave them 0, so nonzero values flag batches leaking
+  // through the stream path (or vice versa).
+  size_t stream_reschedules = 0;
+  size_t snapshot_delta_updates = 0;
+  size_t snapshot_rebuilds = 0;
 };
 
 /// Counter snapshot taken only once the pool is dry: already-claimed
@@ -139,6 +145,9 @@ int main(int argc, char** argv) {
     run.local_hits = stats.local_hits - warmup.local_hits;
     run.rejected = stats.rejected_requests;
     run.retry_hints = stats.retry_after_hints;
+    run.stream_reschedules = stats.stream_reschedules;
+    run.snapshot_delta_updates = stats.snapshot_delta_updates;
+    run.snapshot_rebuilds = stats.snapshot_rebuilds;
     results.push_back(run);
   }
 
@@ -177,7 +186,12 @@ int main(int argc, char** argv) {
             ", \"local_hits\": " + std::to_string(run.local_hits) +
             ", \"rejected_requests\": " + std::to_string(run.rejected) +
             ", \"retry_after_hints\": " + std::to_string(run.retry_hints) +
-            "}";
+            ", \"stream_reschedules\": " +
+            std::to_string(run.stream_reschedules) +
+            ", \"snapshot_delta_updates\": " +
+            std::to_string(run.snapshot_delta_updates) +
+            ", \"snapshot_rebuilds\": " +
+            std::to_string(run.snapshot_rebuilds) + "}";
   }
   json += "\n  ]\n}\n";
   std::printf("\n%s", json.c_str());

@@ -206,6 +206,15 @@ Result<api::StreamEvent::Kind> ParseStreamEventKind(const std::string& name) {
   return Status::InvalidArgument("unknown stream event kind '" + name + "'");
 }
 
+Result<core::AdmissionDecision::Kind> ParseAdmissionKind(
+    const std::string& name) {
+  using Kind = core::AdmissionDecision::Kind;
+  for (const Kind kind : {Kind::kAdmitted, Kind::kQueued, Kind::kRejected}) {
+    if (name == api::AdmissionKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown admission kind '" + name + "'");
+}
+
 // Optional-field helpers for request envelopes: encode only when set,
 // decode back to nullopt when absent.
 void AddOptional(Value* obj, const char* key,
@@ -876,6 +885,8 @@ json::Value Encode(const api::StreamOptions& options) {
   AddOptionalEnum(&obj, "objective", options.objective);
   AddOptionalEnum(&obj, "aggregation", options.aggregation);
   AddOptionalEnum(&obj, "policy", options.policy);
+  AddOptional(&obj, "recommend_alternatives", options.recommend_alternatives);
+  if (!options.session_id.empty()) obj.Add("session_id", options.session_id);
   return obj;
 }
 
@@ -897,6 +908,12 @@ Result<api::StreamOptions> DecodeStreamOptions(const json::Value& value) {
       value, "aggregation", ParseAggregation, &options.aggregation));
   STRATREC_RETURN_NOT_OK(GetOptionalEnum<core::WorkforcePolicy>(
       value, "policy", ParsePolicy, &options.policy));
+  STRATREC_RETURN_NOT_OK(GetOptionalBool(value, "recommend_alternatives",
+                                         &options.recommend_alternatives));
+  if (value.Find("session_id") != nullptr) {
+    STRATREC_RETURN_NOT_OK(GetString(value, "session_id",
+                                     &options.session_id));
+  }
   return options;
 }
 
@@ -951,6 +968,63 @@ Result<api::StreamEvent> DecodeStreamEvent(const json::Value& value) {
   return Status::Internal("unreachable stream event kind");
 }
 
+json::Value Encode(const api::StreamUpdate& update) {
+  Value obj = Value::Object();
+  obj.Add("session_id", update.session_id);
+  obj.Add("kind", api::StreamEventKindName(update.kind));
+  obj.Add("request_id", update.request_id);
+  Value decision = Value::Object();
+  decision.Add("kind", api::AdmissionKindName(update.decision.kind));
+  decision.Add("strategies", EncodeSizeVector(update.decision.strategies));
+  decision.Add("workforce", update.decision.workforce);
+  obj.Add("decision", std::move(decision));
+  if (update.has_alternative) {
+    obj.Add("alternative", Encode(update.alternative));
+  }
+  obj.Add("availability", update.availability);
+  obj.Add("used_workforce", update.used_workforce);
+  obj.Add("active", update.active);
+  obj.Add("pending", update.pending);
+  return obj;
+}
+
+Result<api::StreamUpdate> DecodeStreamUpdate(const json::Value& value) {
+  if (!value.is_object()) return NotAnObject("stream update");
+  api::StreamUpdate update;
+  STRATREC_RETURN_NOT_OK(GetString(value, "session_id", &update.session_id));
+  std::string kind_name;
+  STRATREC_RETURN_NOT_OK(GetString(value, "kind", &kind_name));
+  auto kind = ParseStreamEventKind(kind_name);
+  if (!kind.ok()) return kind.status();
+  update.kind = *kind;
+  STRATREC_RETURN_NOT_OK(GetString(value, "request_id", &update.request_id));
+  const Value* decision = value.Find("decision");
+  if (decision == nullptr) return MissingField("decision");
+  if (!decision->is_object()) return WrongType("decision", "an object");
+  STRATREC_RETURN_NOT_OK(GetString(*decision, "kind", &kind_name));
+  auto admission = ParseAdmissionKind(kind_name);
+  if (!admission.ok()) return admission.status();
+  update.decision.kind = *admission;
+  STRATREC_RETURN_NOT_OK(GetSizeVector(*decision, "strategies",
+                                       &update.decision.strategies));
+  STRATREC_RETURN_NOT_OK(GetDouble(*decision, "workforce",
+                                   &update.decision.workforce));
+  const Value* alternative = value.Find("alternative");
+  if (alternative != nullptr) {
+    auto decoded = DecodeAdparResult(*alternative);
+    if (!decoded.ok()) return decoded.status();
+    update.has_alternative = true;
+    update.alternative = std::move(*decoded);
+  }
+  STRATREC_RETURN_NOT_OK(GetDouble(value, "availability",
+                                   &update.availability));
+  STRATREC_RETURN_NOT_OK(GetDouble(value, "used_workforce",
+                                   &update.used_workforce));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "active", &update.active));
+  STRATREC_RETURN_NOT_OK(GetSize(value, "pending", &update.pending));
+  return update;
+}
+
 // ---------------------------------------------------------------------------
 // ServiceConfig
 // ---------------------------------------------------------------------------
@@ -970,6 +1044,7 @@ json::Value Encode(const api::ServiceConfig& config) {
   Value stream = Value::Object();
   stream.Add("max_pending", config.stream.max_pending);
   stream.Add("readmit_on_release", config.stream.readmit_on_release);
+  stream.Add("recommend_alternatives", config.stream.recommend_alternatives);
   obj.Add("stream", std::move(stream));
 
   Value execution = Value::Object();
@@ -988,6 +1063,8 @@ json::Value Encode(const api::ServiceConfig& config) {
   journal.Add("record_cancelled", config.journal.record_cancelled);
   journal.Add("flush_every_record", config.journal.flush_every_record);
   journal.Add("max_segment_bytes", config.journal.max_segment_bytes);
+  journal.Add("compact_after_segments", config.journal.compact_after_segments);
+  journal.Add("retain_segments", config.journal.retain_segments);
   obj.Add("journal", std::move(journal));
 
   obj.Add("availability", Encode(config.availability));
@@ -1028,6 +1105,8 @@ Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value) {
                                  &config.stream.max_pending));
   STRATREC_RETURN_NOT_OK(GetBool(*stream, "readmit_on_release",
                                  &config.stream.readmit_on_release));
+  STRATREC_RETURN_NOT_OK(GetBool(*stream, "recommend_alternatives",
+                                 &config.stream.recommend_alternatives));
 
   const Value* execution = value.Find("execution");
   if (execution == nullptr) return MissingField("execution");
@@ -1056,6 +1135,10 @@ Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value) {
                                  &config.journal.flush_every_record));
   STRATREC_RETURN_NOT_OK(GetSize(*journal, "max_segment_bytes",
                                  &config.journal.max_segment_bytes));
+  STRATREC_RETURN_NOT_OK(GetSize(*journal, "compact_after_segments",
+                                 &config.journal.compact_after_segments));
+  STRATREC_RETURN_NOT_OK(GetSize(*journal, "retain_segments",
+                                 &config.journal.retain_segments));
 
   const Value* availability = value.Find("availability");
   if (availability == nullptr) return MissingField("availability");
@@ -1075,6 +1158,9 @@ json::Value Encode(const api::ServiceStats& stats) {
   obj.Add("sweeps", stats.sweeps);
   obj.Add("streams_opened", stats.streams_opened);
   obj.Add("stream_events", stats.stream_events);
+  obj.Add("stream_reschedules", stats.stream_reschedules);
+  obj.Add("snapshot_delta_updates", stats.snapshot_delta_updates);
+  obj.Add("snapshot_rebuilds", stats.snapshot_rebuilds);
   obj.Add("requests_processed", stats.requests_processed);
   obj.Add("cancelled", stats.cancelled);
   obj.Add("queue_depth", stats.queue_depth);
@@ -1098,6 +1184,12 @@ Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
       GetSize(value, "streams_opened", &stats.streams_opened));
   STRATREC_RETURN_NOT_OK(
       GetSize(value, "stream_events", &stats.stream_events));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "stream_reschedules", &stats.stream_reschedules));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "snapshot_delta_updates", &stats.snapshot_delta_updates));
+  STRATREC_RETURN_NOT_OK(
+      GetSize(value, "snapshot_rebuilds", &stats.snapshot_rebuilds));
   STRATREC_RETURN_NOT_OK(
       GetSize(value, "requests_processed", &stats.requests_processed));
   STRATREC_RETURN_NOT_OK(GetSize(value, "cancelled", &stats.cancelled));
@@ -1129,6 +1221,8 @@ constexpr char kKindCatalog[] = "catalog";
 constexpr char kKindBatch[] = "batch";
 constexpr char kKindSweep[] = "sweep";
 constexpr char kKindStats[] = "stats";
+constexpr char kKindStreamOpen[] = "stream-open";
+constexpr char kKindStreamEvent[] = "stream-event";
 
 template <typename Request, typename Report>
 std::string EncodePairRecord(const char* kind, const std::string& request_id,
@@ -1176,6 +1270,26 @@ std::string EncodeStatsRecord(const api::ServiceStats& stats) {
   Value record = Value::Object();
   record.Add("kind", kKindStats);
   record.Add("stats", Encode(stats));
+  return json::Dump(record);
+}
+
+std::string EncodeStreamOpenRecord(const StreamOpenRecord& open) {
+  Value record = Value::Object();
+  record.Add("kind", kKindStreamOpen);
+  record.Add("session_id", open.session_id);
+  record.Add("options", Encode(open.options));
+  record.Add("availability", open.availability);
+  return json::Dump(record);
+}
+
+std::string EncodeStreamEventRecord(const StreamEventRecord& record_in) {
+  Value record = Value::Object();
+  record.Add("kind", kKindStreamEvent);
+  record.Add("session_id", record_in.session_id);
+  record.Add("seq", record_in.seq);
+  record.Add("event", Encode(record_in.event));
+  record.Add("status", Encode(record_in.status));
+  if (record_in.status.ok()) record.Add("update", Encode(record_in.update));
   return json::Dump(record);
 }
 
@@ -1249,6 +1363,39 @@ Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records) {
       auto decoded = DecodeServiceStats(*stats);
       if (!decoded.ok()) return decoded.status();
       trace.stats.push_back(std::move(*decoded));
+    } else if (kind == kKindStreamOpen) {
+      StreamOpenRecord open;
+      STRATREC_RETURN_NOT_OK(GetString(*parsed, "session_id",
+                                       &open.session_id));
+      const Value* options = parsed->Find("options");
+      if (options == nullptr) return MissingField("options");
+      auto decoded = DecodeStreamOptions(*options);
+      if (!decoded.ok()) return decoded.status();
+      open.options = std::move(*decoded);
+      STRATREC_RETURN_NOT_OK(GetDouble(*parsed, "availability",
+                                       &open.availability));
+      trace.stream_opens.push_back(std::move(open));
+    } else if (kind == kKindStreamEvent) {
+      StreamEventRecord record;
+      STRATREC_RETURN_NOT_OK(GetString(*parsed, "session_id",
+                                       &record.session_id));
+      STRATREC_RETURN_NOT_OK(GetSize(*parsed, "seq", &record.seq));
+      const Value* event = parsed->Find("event");
+      if (event == nullptr) return MissingField("event");
+      auto decoded_event = DecodeStreamEvent(*event);
+      if (!decoded_event.ok()) return decoded_event.status();
+      record.event = std::move(*decoded_event);
+      const Value* status = parsed->Find("status");
+      if (status == nullptr) return MissingField("status");
+      STRATREC_RETURN_NOT_OK(DecodeStatus(*status, &record.status));
+      if (record.status.ok()) {
+        const Value* update = parsed->Find("update");
+        if (update == nullptr) return MissingField("update");
+        auto decoded_update = DecodeStreamUpdate(*update);
+        if (!decoded_update.ok()) return decoded_update.status();
+        record.update = std::move(*decoded_update);
+      }
+      trace.stream_events.push_back(std::move(record));
     } else {
       return Status::InvalidArgument(
           "unknown journal record kind '" + kind + "' on line " +
@@ -1264,6 +1411,51 @@ Result<JournalTrace> ReadTraceFile(const std::string& path) {
   auto records = JournalReader::ReadAllSegments(path);
   if (!records.ok()) return records.status();
   return DecodeTrace(*records);
+}
+
+std::vector<std::string> CompactRecords(
+    const std::vector<std::string>& records) {
+  // Single pass, line-level: no decode of record payloads — only the kind
+  // discriminant is parsed, so compaction cost is O(bytes), not O(solves).
+  std::string last_config;
+  std::string last_catalog;
+  std::string last_stats;
+  std::vector<std::string> kept;  // stream-opens + unrecognized, in order
+  for (const std::string& line : records) {
+    auto parsed = json::Parse(line);
+    std::string kind;
+    if (!parsed.ok() || !parsed->is_object() ||
+        !GetString(*parsed, "kind", &kind).ok()) {
+      // Not a record this codec understands; keep it verbatim rather than
+      // silently destroying data (the reader will report it exactly as it
+      // would have before compaction).
+      kept.push_back(line);
+      continue;
+    }
+    if (kind == kKindConfig) {
+      last_config = line;
+    } else if (kind == kKindCatalog) {
+      last_catalog = line;
+    } else if (kind == kKindStats) {
+      last_stats = line;
+    } else if (kind == kKindStreamOpen) {
+      kept.push_back(line);
+    } else if (kind == kKindBatch || kind == kKindSweep ||
+               kind == kKindStreamEvent) {
+      // Replayed-out history: dropping a pair loses nothing a compacted
+      // chain promises, and dropping a session's event prefix is what the
+      // replay-side seq-gap detection exists for.
+    } else {
+      kept.push_back(line);
+    }
+  }
+  std::vector<std::string> folded;
+  folded.reserve(kept.size() + 3);
+  if (!last_config.empty()) folded.push_back(std::move(last_config));
+  if (!last_catalog.empty()) folded.push_back(std::move(last_catalog));
+  for (std::string& line : kept) folded.push_back(std::move(line));
+  if (!last_stats.empty()) folded.push_back(std::move(last_stats));
+  return folded;
 }
 
 }  // namespace stratrec::wire

@@ -57,6 +57,7 @@ json::Value Encode(const api::SweepRequest& request);
 json::Value Encode(const api::SweepReport& report);
 json::Value Encode(const api::StreamOptions& options);
 json::Value Encode(const api::StreamEvent& event);
+json::Value Encode(const api::StreamUpdate& update);
 json::Value Encode(const api::ServiceConfig& config);
 json::Value Encode(const api::ServiceStats& stats);
 
@@ -74,6 +75,7 @@ Result<api::SweepRequest> DecodeSweepRequest(const json::Value& value);
 Result<api::SweepReport> DecodeSweepReport(const json::Value& value);
 Result<api::StreamOptions> DecodeStreamOptions(const json::Value& value);
 Result<api::StreamEvent> DecodeStreamEvent(const json::Value& value);
+Result<api::StreamUpdate> DecodeStreamUpdate(const json::Value& value);
 Result<api::ServiceConfig> DecodeServiceConfig(const json::Value& value);
 Result<api::ServiceStats> DecodeServiceStats(const json::Value& value);
 
@@ -99,6 +101,31 @@ struct PairRecord {
   bool operator==(const PairRecord&) const = default;
 };
 
+/// One recorded stream-session open: everything replay needs to rebuild the
+/// session — the options the caller passed (with session_id pinned to the
+/// id the service assigned) plus the availability the spec resolved to, so
+/// replay reproduces named/default specs whose backing model has drifted.
+struct StreamOpenRecord {
+  std::string session_id;
+  api::StreamOptions options;
+  double availability = 0.0;
+
+  bool operator==(const StreamOpenRecord&) const = default;
+};
+
+/// One recorded (StreamEvent, StreamUpdate) pair. `seq` is the per-session
+/// submission index — every Submit increments it, failures included — so a
+/// replay can detect a compacted-away event prefix as a seq gap.
+struct StreamEventRecord {
+  std::string session_id;
+  size_t seq = 0;
+  api::StreamEvent event;
+  Status status;
+  api::StreamUpdate update;  ///< valid iff status.ok()
+
+  bool operator==(const StreamEventRecord&) const = default;
+};
+
 /// Record lines ({"kind":"config"|"catalog"|"batch"|"sweep", ...}), ready
 /// for JournalWriter::Append.
 std::string EncodeConfigRecord(const api::ServiceConfig& config);
@@ -114,6 +141,9 @@ std::string EncodeSweepRecord(const std::string& request_id,
 /// steal/local-hit counters), so a trace can carry saturation checkpoints
 /// alongside its pairs.
 std::string EncodeStatsRecord(const api::ServiceStats& stats);
+/// Stream session records ({"kind":"stream-open"|"stream-event", ...}).
+std::string EncodeStreamOpenRecord(const StreamOpenRecord& open);
+std::string EncodeStreamEventRecord(const StreamEventRecord& record);
 
 /// A fully decoded journal: everything replay needs to rebuild the service
 /// and its workload. Pairs keep journal (completion) order.
@@ -126,6 +156,11 @@ struct JournalTrace {
   /// Stats checkpoints, in journal order (may be empty: taps only write
   /// them when asked — see EncodeStatsRecord).
   std::vector<api::ServiceStats> stats;
+  /// Stream sessions: session opens and their (event, update) pairs, each
+  /// in journal order. Events of different sessions interleave here exactly
+  /// as they completed; within a session, seq orders them.
+  std::vector<StreamOpenRecord> stream_opens;
+  std::vector<StreamEventRecord> stream_events;
 };
 
 /// Decodes record lines (JournalReader::ReadRecords output). Unknown record
@@ -135,6 +170,16 @@ Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records);
 
 /// JournalReader::ReadRecords + DecodeTrace.
 Result<JournalTrace> ReadTraceFile(const std::string& path);
+
+/// The journal compaction policy (JournalWriter::Options::compact): folds
+/// the records of a cold segment prefix into the minimal list that keeps a
+/// compacted chain self-contained — the *last* config, catalog, and stats
+/// records, every stream-open (a session may still be live in the retained
+/// tail), and any record this codec does not recognize (preserved verbatim,
+/// in order). Batch/sweep pairs and stream events are dropped: replay over
+/// a compacted chain skips sessions whose event prefix is gone (seq gap)
+/// and replays everything that survived unchanged.
+std::vector<std::string> CompactRecords(const std::vector<std::string>& records);
 
 }  // namespace stratrec::wire
 

@@ -48,6 +48,25 @@ Status ValidateConfig(const ServiceConfig& config) {
     return Status::InvalidArgument(
         "cache.availability_quantum must lie in [0, 1]");
   }
+  if (config.journal.compact_after_segments > 0) {
+    if (config.journal.max_segment_bytes == 0) {
+      return Status::InvalidArgument(
+          "journal.compact_after_segments requires segment rotation "
+          "(journal.max_segment_bytes > 0)");
+    }
+    if (config.journal.retain_segments >=
+        config.journal.compact_after_segments) {
+      return Status::InvalidArgument(
+          "journal.retain_segments must be < compact_after_segments, or "
+          "compaction would never fold anything");
+    }
+  }
+  if (config.journal.compact_after_segments > kMaxWireInteger ||
+      config.journal.retain_segments > kMaxWireInteger) {
+    return Status::InvalidArgument(
+        "journal compaction knobs exceed 2^53 and would not round-trip the "
+        "wire codec");
+  }
   return Status::OK();
 }
 

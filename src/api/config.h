@@ -39,6 +39,10 @@ struct StreamDefaults {
   size_t max_pending = 64;
   /// Drain the pending queue greedily whenever capacity frees up.
   bool readmit_on_release = true;
+  /// Serve an ADPaR alternative for ineligible stream arrivals (the stream
+  /// twin of BatchDefaults::recommend_alternatives; off by default so
+  /// sessions that never ask behave exactly like before).
+  bool recommend_alternatives = false;
 
   bool operator==(const StreamDefaults&) const = default;
 };
@@ -111,6 +115,18 @@ struct JournalConfig {
   /// single unbounded file. wire::ReadTraceFile reads the whole segment
   /// chain back as one trace.
   size_t max_segment_bytes = 0;
+  /// Compaction: when > 0 (and segments rotate), once more than this many
+  /// closed segments accumulate the writer folds the cold ones into a fresh
+  /// base segment — keeping the last config, catalog, and stats records plus
+  /// every stream-open record, dropping replayed-out pairs and stream events
+  /// (wire::CompactRecords) — and renumbers the survivors. Replay over a
+  /// compacted chain skips sessions whose event prefix was folded away.
+  /// 0 (the default) never compacts.
+  size_t compact_after_segments = 0;
+  /// How many of the newest closed segments a compaction leaves untouched
+  /// (the hot tail a concurrent reader may be following). Only meaningful
+  /// when compact_after_segments > 0.
+  size_t retain_segments = 1;
 
   bool operator==(const JournalConfig&) const = default;
 };

@@ -180,7 +180,7 @@ struct ShardScanReport {
 };
 
 // ---------------------------------------------------------------------------
-// Stream mode (wraps core::OnlineScheduler behind a session handle).
+// Stream mode (wraps stream::StreamScheduler behind a session handle).
 // ---------------------------------------------------------------------------
 
 /// Per-session overrides of the service's StreamDefaults plus the session's
@@ -192,6 +192,15 @@ struct StreamOptions {
   std::optional<core::Objective> objective;
   std::optional<core::AggregationMode> aggregation;
   std::optional<core::WorkforcePolicy> policy;
+  /// Serve an ADPaR alternative (paper Section 4) for ineligible arrivals —
+  /// the stream twin of BatchRequest::recommend_alternatives. Unset falls
+  /// back to StreamDefaults (off).
+  std::optional<bool> recommend_alternatives;
+  /// Caller-assigned session id; empty (the default) means service-assigned
+  /// ("stream-000003"). The hook the replay harness uses to reproduce
+  /// recorded session ids, mirroring BatchRequest::request_id. Declared
+  /// last so aggregate initialization stays source-compatible.
+  std::string session_id;
 
   bool operator==(const StreamOptions&) const = default;
 };
@@ -224,16 +233,24 @@ const char* StreamEventKindName(StreamEvent::Kind kind);
 /// "admitted", "queued", "rejected" — display helper for admission outcomes.
 const char* AdmissionKindName(core::AdmissionDecision::Kind kind);
 
-/// What one stream event did, plus a post-event capacity snapshot.
+/// What one stream event did, plus a post-event capacity snapshot. Round-
+/// trips the wire codec (the "stream-event" journal record pairs it with
+/// its StreamEvent), so replay can assert byte-identical updates.
 struct StreamUpdate {
   std::string session_id;
   StreamEvent::Kind kind = StreamEvent::Kind::kArrival;
   std::string request_id;            ///< the affected request ("" for window changes)
   core::AdmissionDecision decision;  ///< meaningful for kArrival only
+  /// ADPaR alternative for an ineligible arrival; only set when the session
+  /// runs with recommend_alternatives and the solve succeeded.
+  bool has_alternative = false;
+  core::AdparResult alternative;  ///< valid iff has_alternative
   double availability = 0.0;
   double used_workforce = 0.0;
   size_t active = 0;
   size_t pending = 0;
+
+  bool operator==(const StreamUpdate&) const = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -250,6 +267,14 @@ struct ServiceStats {
   size_t sweeps = 0;
   size_t streams_opened = 0;
   size_t stream_events = 0;
+  /// Pending stream requests re-admitted by density-order drains after a
+  /// revocation, completion, or availability raise freed capacity.
+  size_t stream_reschedules = 0;
+  /// Incremental-snapshot maintenance across all stream sessions: events
+  /// absorbed in O(1) without re-estimating the per-W derived block vs
+  /// availability changes that moved the quantized W and re-estimated it.
+  size_t snapshot_delta_updates = 0;
+  size_t snapshot_rebuilds = 0;
   /// Deployment requests seen across batches and stream arrivals.
   size_t requests_processed = 0;
   /// Async tickets withdrawn via Cancel() before a worker claimed them.

@@ -1,7 +1,10 @@
 #include "src/api/replay.h"
 
 #include <chrono>
+#include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace stratrec::wire {
 
@@ -66,6 +69,14 @@ Result<ReplayResult> ReplayTrace(const JournalTrace& trace,
   std::vector<PendingBatch> batches;
   std::vector<PendingSweep> sweeps;
 
+  // Index the stream records up front: events grouped per session in
+  // journal order (which the per-session mutex made seq order).
+  std::unordered_map<std::string, std::vector<const StreamEventRecord*>>
+      session_events;
+  for (const StreamEventRecord& record : trace.stream_events) {
+    session_events[record.session_id].push_back(&record);
+  }
+
   const size_t rounds = options.rounds == 0 ? 1 : options.rounds;
   const auto start = std::chrono::steady_clock::now();
   for (size_t round = 0; round < rounds; ++round) {
@@ -97,6 +108,83 @@ Result<ReplayResult> ReplayTrace(const JournalTrace& trace,
         expected.request_id = id;
         sweeps.push_back({service->RunSweepAsync(std::move(request)),
                           json::Dump(Encode(expected))});
+      }
+    }
+  }
+
+  // Stream sessions: reopen each recorded session and re-drive its events
+  // in seq order. Stream semantics are sequential per session, so this leg
+  // is synchronous — the parallelism replay exercises here is inside each
+  // event (the scheduler's pricing rows and snapshot rebuilds fan out
+  // across the pool), which is exactly what must not change the bytes.
+  for (size_t round = 0; round < rounds; ++round) {
+    for (const StreamOpenRecord& open : trace.stream_opens) {
+      const auto events_it = session_events.find(open.session_id);
+      const std::vector<const StreamEventRecord*>* events =
+          events_it == session_events.end() ? nullptr : &events_it->second;
+
+      // A compacted chain keeps every stream-open but may have folded away
+      // an event prefix; a seq gap anywhere means the session's scheduler
+      // state cannot be reconstructed, so skip it whole.
+      bool contiguous = true;
+      if (events != nullptr) {
+        for (size_t i = 0; i < events->size(); ++i) {
+          if ((*events)[i]->seq != i) {
+            contiguous = false;
+            break;
+          }
+        }
+      }
+      if (!contiguous) {
+        if (round == 0) ++result.stream_skipped_sessions;
+        continue;
+      }
+
+      const std::string session_id = RoundId(open.session_id, round);
+      api::StreamOptions stream_options = open.options;
+      stream_options.session_id = session_id;
+      PinNamedAvailability(trace, &stream_options.availability,
+                           open.availability);
+      auto session = service->OpenStream(stream_options);
+      if (!session.ok()) {
+        return Status::Internal("replayed session " + session_id +
+                                " failed to open: " +
+                                session.status().ToString());
+      }
+      ++result.stream_sessions;
+
+      if (events == nullptr) continue;
+      for (const StreamEventRecord* record : *events) {
+        ++result.stream_events_replayed;
+        api::StreamEvent event = record->event;
+        if (event.kind == api::StreamEvent::Kind::kAvailabilityChange &&
+            record->status.ok()) {
+          // Window changes through a named model resolve against live
+          // registrations the trace does not carry; the recorded update
+          // captured the resolved W, so pin it like the batch leg does.
+          PinNamedAvailability(trace, &event.availability,
+                               record->update.availability);
+        }
+        auto update = session->Submit(event);
+        bool matched = false;
+        if (record->status.ok()) {
+          if (update.ok()) {
+            api::StreamUpdate expected = record->update;
+            expected.session_id = session_id;
+            matched = json::Dump(Encode(expected)) ==
+                      json::Dump(Encode(*update));
+          }
+        } else {
+          matched = !update.ok() &&
+                    json::Dump(Encode(record->status)) ==
+                        json::Dump(Encode(update.status()));
+        }
+        if (matched) {
+          ++result.stream_matched;
+        } else {
+          result.mismatched.push_back(session_id + "@" +
+                                      std::to_string(record->seq));
+        }
       }
     }
   }

@@ -19,6 +19,15 @@
 // reproducible work. Requests whose availability came from a named model
 // (registered on the live service, not part of the trace) are replayed at
 // the resolved W the recorded report captured.
+//
+// Stream sessions replay too: every stream-open record reopens a session
+// (session id pinned through StreamOptions::session_id, availability
+// pinned to the recorded resolution), its stream-event records re-drive it
+// in seq order, and each outcome must reproduce the recording byte for
+// byte — the StreamUpdate line when the event succeeded, the Status line
+// when it failed. A session whose event history has a seq gap (its prefix
+// was folded away by journal compaction) is skipped whole and counted in
+// stream_skipped_sessions.
 #ifndef STRATREC_API_REPLAY_H_
 #define STRATREC_API_REPLAY_H_
 
@@ -45,6 +54,17 @@ struct ReplayResult {
   size_t replayed = 0;  ///< pairs resubmitted (across all rounds)
   size_t matched = 0;   ///< replayed pairs whose report was byte-identical
   size_t skipped = 0;   ///< recorded pairs not replayed (cancelled / error)
+  /// Stream replay: sessions rebuilt (across all rounds), events re-driven
+  /// through them, and events whose recorded outcome — the StreamUpdate
+  /// bytes when it succeeded, the Status bytes when it failed — was
+  /// reproduced exactly.
+  size_t stream_sessions = 0;
+  size_t stream_events_replayed = 0;
+  size_t stream_matched = 0;
+  /// Sessions whose event history starts past seq 0 or has gaps — their
+  /// prefix was folded away by journal compaction, so the session cannot be
+  /// rebuilt faithfully and is skipped whole (by design, not an error).
+  size_t stream_skipped_sessions = 0;
   /// Deployment requests inside replayed batch pairs plus sweep cells
   /// solved — the unit bench_replay_load reports throughput in.
   size_t work_items = 0;

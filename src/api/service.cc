@@ -22,6 +22,7 @@
 #include "src/common/logging.h"
 #include "src/core/catalog_index.h"
 #include "src/core/workforce.h"
+#include "src/stream/stream_scheduler.h"
 
 namespace stratrec::api {
 
@@ -35,6 +36,9 @@ struct alignas(64) StatsStripe {
   std::atomic<uint64_t> sweeps{0};
   std::atomic<uint64_t> streams_opened{0};
   std::atomic<uint64_t> stream_events{0};
+  std::atomic<uint64_t> stream_reschedules{0};
+  std::atomic<uint64_t> snapshot_delta_updates{0};
+  std::atomic<uint64_t> snapshot_rebuilds{0};
   std::atomic<uint64_t> requests_processed{0};
   std::atomic<uint64_t> cancelled{0};
   std::atomic<uint64_t> cache_hits{0};
@@ -59,6 +63,12 @@ class StripedStats {
           stripe.streams_opened.load(std::memory_order_relaxed);
       out.stream_events +=
           stripe.stream_events.load(std::memory_order_relaxed);
+      out.stream_reschedules +=
+          stripe.stream_reschedules.load(std::memory_order_relaxed);
+      out.snapshot_delta_updates +=
+          stripe.snapshot_delta_updates.load(std::memory_order_relaxed);
+      out.snapshot_rebuilds +=
+          stripe.snapshot_rebuilds.load(std::memory_order_relaxed);
       out.requests_processed +=
           stripe.requests_processed.load(std::memory_order_relaxed);
       out.cancelled += stripe.cancelled.load(std::memory_order_relaxed);
@@ -265,16 +275,28 @@ struct ServiceState {
   }
 };
 
-/// One stream session: the (not thread-safe) core scheduler plus its own
-/// lock and a reference keeping the owning service alive.
+/// One stream session: the (not thread-safe) stream scheduler plus its own
+/// lock and a reference keeping the owning service alive. The scheduler's
+/// ParallelFor fan-out (pricing rows, snapshot re-estimation) runs on the
+/// service executor from under the session mutex — safe, because the
+/// executor's callers participate in their own fan-out.
 struct SessionState {
   std::shared_ptr<ServiceState> service;
   std::string id;
   mutable std::mutex mutex;  ///< serializes the wrapped scheduler
-  core::OnlineScheduler scheduler;
+  stream::StreamScheduler scheduler;
+  /// Per-session submission index, stamped on every journaled stream-event
+  /// record (failures included) so replay can detect a compacted-away
+  /// prefix as a gap. Guarded by `mutex`.
+  size_t seq = 0;
+  /// Last-synced scheduler counters, so each Submit adds only its delta to
+  /// the service-wide stripes. Guarded by `mutex`.
+  size_t synced_reschedules = 0;
+  size_t synced_delta_updates = 0;
+  size_t synced_rebuilds = 0;
 
   SessionState(std::shared_ptr<ServiceState> service_in, std::string id_in,
-               core::OnlineScheduler scheduler_in)
+               stream::StreamScheduler scheduler_in)
       : service(std::move(service_in)),
         id(std::move(id_in)),
         scheduler(std::move(scheduler_in)) {}
@@ -501,9 +523,17 @@ Result<Service> Service::Create(core::Catalog catalog, ServiceConfig config) {
   // reconstructs an identical service).
   std::shared_ptr<JournalWriter> journal;
   if (!config.journal.path.empty()) {
-    auto writer = JournalWriter::Open(config.journal.path,
-                                      config.journal.flush_every_record,
-                                      config.journal.max_segment_bytes);
+    JournalWriter::Options journal_options;
+    journal_options.flush_every_record = config.journal.flush_every_record;
+    journal_options.max_segment_bytes = config.journal.max_segment_bytes;
+    journal_options.compact_after_segments =
+        config.journal.compact_after_segments;
+    journal_options.retain_segments = config.journal.retain_segments;
+    // The folding policy lives in the codec (the journal layer stays
+    // byte-oriented): keep the records a compacted chain still needs.
+    journal_options.compact = wire::CompactRecords;
+    auto writer =
+        JournalWriter::Open(config.journal.path, std::move(journal_options));
     if (!writer.ok()) return writer.status();
     journal = std::move(*writer);
     STRATREC_RETURN_NOT_OK(journal->Append(wire::EncodeConfigRecord(config)));
@@ -620,22 +650,47 @@ Result<StreamSession> Service::OpenStream(const StreamOptions& options) const {
   if (!availability.ok()) return availability.status();
 
   const ServiceConfig& config = state_->config;
-  core::OnlineOptions online;
-  online.batch.objective =
+  stream::StreamSchedulerOptions scheduler_options;
+  scheduler_options.objective =
       options.objective.value_or(config.batch.objective);
-  online.batch.aggregation =
+  scheduler_options.aggregation =
       options.aggregation.value_or(config.batch.aggregation);
-  online.batch.policy = options.policy.value_or(config.batch.policy);
-  online.max_pending = options.max_pending.value_or(config.stream.max_pending);
-  online.readmit_on_release =
+  scheduler_options.policy = options.policy.value_or(config.batch.policy);
+  scheduler_options.max_pending =
+      options.max_pending.value_or(config.stream.max_pending);
+  scheduler_options.readmit_on_release =
       options.readmit_on_release.value_or(config.stream.readmit_on_release);
+  scheduler_options.recommend_alternatives =
+      options.recommend_alternatives.value_or(
+          config.stream.recommend_alternatives);
+  // The session's snapshot rides the same availability grid as the batch
+  // cache, so a session at a cached W agrees with the batch path bit for
+  // bit.
+  scheduler_options.availability_quantum = config.cache.availability_quantum;
+  scheduler_options.parallel_grain = config.execution.parallel_grain;
 
-  auto scheduler = core::OnlineScheduler::Create(state_->profiles(),
-                                                 *availability, online);
+  auto scheduler = stream::StreamScheduler::Create(
+      &state_->stratrec.aggregator().index(), &state_->executor,
+      *availability, scheduler_options);
   if (!scheduler.ok()) return scheduler.status();
 
+  std::string session_id =
+      options.session_id.empty() ? state_->NextId("stream")
+                                 : options.session_id;
+  // Session-open tap: with the session id pinned into the recorded options
+  // and the resolved availability alongside, replay rebuilds this session
+  // byte-for-byte even when the original spec was named or default.
+  if (state_->journal) {
+    wire::StreamOpenRecord open;
+    open.session_id = session_id;
+    open.options = options;
+    open.options.session_id = session_id;
+    open.availability = *availability;
+    state_->Record(wire::EncodeStreamOpenRecord(open));
+  }
+
   auto session = std::make_shared<internal::SessionState>(
-      state_, state_->NextId("stream"), std::move(*scheduler));
+      state_, std::move(session_id), std::move(*scheduler));
   state_->stats.Local().streams_opened.fetch_add(1, std::memory_order_relaxed);
   return StreamSession(std::move(session));
 }
@@ -695,41 +750,88 @@ Result<StreamUpdate> StreamSession::Submit(const StreamEvent& event) {
   update.session_id = state_->id;
   update.kind = event.kind;
 
+  internal::ServiceState* service = state_->service.get();
   std::lock_guard<std::mutex> lock(state_->mutex);
-  core::OnlineScheduler& scheduler = state_->scheduler;
+  stream::StreamScheduler& scheduler = state_->scheduler;
+  Status status = Status::OK();
   switch (event.kind) {
     case StreamEvent::Kind::kArrival: {
-      auto decision = scheduler.OnArrival(event.request);
-      if (!decision.ok()) return decision.status();
+      auto outcome = scheduler.OnArrival(event.request);
+      if (!outcome.ok()) {
+        status = outcome.status();
+        break;
+      }
       update.request_id = event.request.id;
-      update.decision = std::move(*decision);
+      update.decision = std::move(outcome->decision);
+      update.has_alternative = outcome->has_alternative;
+      if (outcome->has_alternative) {
+        update.alternative = std::move(outcome->alternative);
+      }
       break;
     }
     case StreamEvent::Kind::kRevocation:
-      STRATREC_RETURN_NOT_OK(scheduler.OnRevocation(event.request_id));
+      status = scheduler.OnRevocation(event.request_id);
       update.request_id = event.request_id;
       break;
     case StreamEvent::Kind::kCompletion:
-      STRATREC_RETURN_NOT_OK(scheduler.OnCompletion(event.request_id));
+      status = scheduler.OnCompletion(event.request_id);
       update.request_id = event.request_id;
       break;
     case StreamEvent::Kind::kAvailabilityChange: {
-      auto resolved = state_->service->Resolve(event.availability);
-      if (!resolved.ok()) return resolved.status();
-      STRATREC_RETURN_NOT_OK(scheduler.SetAvailability(*resolved));
+      auto resolved = service->Resolve(event.availability);
+      if (!resolved.ok()) {
+        status = resolved.status();
+        break;
+      }
+      status = scheduler.SetAvailability(*resolved);
       break;
     }
   }
-  update.availability = scheduler.availability();
-  update.used_workforce = scheduler.used_workforce();
-  update.active = scheduler.active();
-  update.pending = scheduler.pending();
+  if (status.ok()) {
+    update.availability = scheduler.availability();
+    update.used_workforce = scheduler.used_workforce();
+    update.active = scheduler.active();
+    update.pending = scheduler.pending();
+  }
 
-  internal::StatsStripe& stripe = state_->service->stats.Local();
+  // Journal tap: every submitted event (failures included) gets a record
+  // stamped with the session's submission index, encoded here on the
+  // submitting thread — the session mutex makes seq order and journal
+  // order agree per session, and the append itself only takes the
+  // journal's short file lock.
+  if (service->journal) {
+    wire::StreamEventRecord record;
+    record.session_id = state_->id;
+    record.seq = state_->seq;
+    record.event = event;
+    record.status = status;
+    if (status.ok()) record.update = update;
+    service->Record(wire::EncodeStreamEventRecord(record));
+  }
+  state_->seq += 1;
+
+  if (!status.ok()) return status;
+
+  internal::StatsStripe& stripe = service->stats.Local();
   stripe.stream_events.fetch_add(1, std::memory_order_relaxed);
   if (event.kind == StreamEvent::Kind::kArrival) {
     stripe.requests_processed.fetch_add(1, std::memory_order_relaxed);
   }
+  // Fold this event's scheduler-counter movement into the service stripes
+  // (the scheduler keeps totals; the session remembers what it last
+  // synced).
+  const size_t reschedules = scheduler.reschedules();
+  const size_t delta_updates = scheduler.snapshot_delta_updates();
+  const size_t rebuilds = scheduler.snapshot_rebuilds();
+  stripe.stream_reschedules.fetch_add(
+      reschedules - state_->synced_reschedules, std::memory_order_relaxed);
+  stripe.snapshot_delta_updates.fetch_add(
+      delta_updates - state_->synced_delta_updates, std::memory_order_relaxed);
+  stripe.snapshot_rebuilds.fetch_add(rebuilds - state_->synced_rebuilds,
+                                     std::memory_order_relaxed);
+  state_->synced_reschedules = reschedules;
+  state_->synced_delta_updates = delta_updates;
+  state_->synced_rebuilds = rebuilds;
   return update;
 }
 

@@ -6,7 +6,9 @@
 //
 //   SubmitBatch()  the Figure-1 batch pipeline (wraps core::StratRec),
 //   OpenStream()   a session over the Section-7 dynamic setting
-//                  (wraps core::OnlineScheduler behind a handle),
+//                  (wraps stream::StreamScheduler behind a handle:
+//                  executor-parallel pricing over the CatalogIndex plus an
+//                  incrementally maintained per-availability snapshot),
 //   RunSweep()     the ADPaR solver family side by side, including the
 //                  paper's literal sweep (wraps adpar_paper_sweep.h).
 //

@@ -22,6 +22,7 @@
 #define STRATREC_COMMON_JOURNAL_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,22 +40,55 @@ inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// records the cache_hits/cache_misses/index_build_nanos counters.
 /// v3: segment rotation (the journal block gained max_segment_bytes) and
 /// stats records the rejected_requests/retry_after_hints admission counters.
-inline constexpr int kJournalFormatVersion = 3;
+/// v4: stream sessions journal stream-open/stream-event record kinds, stats
+/// records the stream_reschedules/snapshot_delta_updates/snapshot_rebuilds
+/// counters, and segment chains may be compacted (cold segments folded into
+/// the base — see JournalWriter::Options::compact_after_segments).
+inline constexpr int kJournalFormatVersion = 4;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.
 class JournalWriter {
  public:
+  /// Rewrites the records of the cold segments being folded by a compaction
+  /// into the (usually much shorter) list that replaces them. This layer is
+  /// codec-agnostic — the api layer supplies wire::CompactRecords, which
+  /// keeps the records replay still needs (last config/catalog/stats, every
+  /// stream-open) and drops the rest.
+  using Compactor =
+      std::function<std::vector<std::string>(const std::vector<std::string>&)>;
+
+  struct Options {
+    /// fflush() after every record (see JournalConfig::flush_every_record).
+    bool flush_every_record = true;
+    /// Segment rotation bound in bytes; 0 keeps one unbounded file. Once
+    /// appending a record would push the current segment past this, the
+    /// writer closes it and rolls to `<path>.1`, `<path>.2`, ... — each
+    /// segment starting with its own header line, so every file in the
+    /// chain is independently a well-formed journal. A segment always holds
+    /// at least one record (a record larger than the bound gets a segment
+    /// to itself rather than rolling forever), and a record never splits
+    /// across segments.
+    size_t max_segment_bytes = 0;
+    /// When > 0 (requires rotation and a `compact` callback): after a roll
+    /// leaves more than this many closed segments, the cold ones — all but
+    /// the `retain_segments` newest closed segments — are read back, folded
+    /// through `compact` into a fresh base segment (written to a temp file
+    /// and renamed into place, so a crash never loses the chain), and the
+    /// surviving segments are renumbered to close the gap. Readers see a
+    /// shorter chain with identical semantics for the retained records.
+    size_t compact_after_segments = 0;
+    /// Newest closed segments a compaction leaves untouched.
+    size_t retain_segments = 1;
+    /// The record-folding policy; compaction is skipped when unset.
+    Compactor compact;
+  };
+
   /// Fails with kInternal when the file cannot be created.
-  ///
-  /// `max_segment_bytes` > 0 enables segment rotation: once appending a
-  /// record would push the current segment past that many bytes (header
-  /// included), the writer closes it and rolls to `<path>.1`, `<path>.2`,
-  /// ... — each segment starting with its own header line, so every file in
-  /// the chain is independently a well-formed journal. A segment always
-  /// holds at least one record (a record larger than the bound gets a
-  /// segment to itself rather than rolling forever), and a record never
-  /// splits across segments. 0 (the default) keeps one unbounded file.
+  static Result<std::shared_ptr<JournalWriter>> Open(std::string path,
+                                                     Options options);
+
+  /// Legacy convenience overload (no compaction).
   static Result<std::shared_ptr<JournalWriter>> Open(
       std::string path, bool flush_every_record = true,
       size_t max_segment_bytes = 0);
@@ -74,28 +108,35 @@ class JournalWriter {
   /// Records appended so far (excludes the header line).
   size_t records_written() const;
 
+  /// Segment chains folded by the compaction policy so far.
+  size_t compactions() const;
+
  private:
-  JournalWriter(std::string path, std::FILE* file, bool flush_every_record,
-                size_t max_segment_bytes, size_t header_bytes)
+  JournalWriter(std::string path, std::FILE* file, Options options,
+                size_t header_bytes)
       : path_(std::move(path)),
+        options_(std::move(options)),
         file_(file),
-        flush_(flush_every_record),
-        max_segment_bytes_(max_segment_bytes),
         segment_bytes_(header_bytes) {}
 
   /// Closes the current segment and opens `<path>.<next>` with a fresh
   /// header. Called under `mutex_`.
   Status RollSegmentLocked();
 
+  /// Folds the cold closed segments (base through `<path>.m`) through the
+  /// compactor into a fresh base, deletes the folded files, and renumbers
+  /// the survivors. Called under `mutex_` right after a successful roll.
+  Status CompactLocked();
+
   const std::string path_;
+  const Options options_;
   mutable std::mutex mutex_;  ///< guards the mutable state below
   std::FILE* file_ = nullptr;
-  const bool flush_;
-  const size_t max_segment_bytes_;
   size_t segment_bytes_ = 0;    ///< bytes written to the current segment
   size_t segment_records_ = 0;  ///< records in the current segment
   size_t segment_index_ = 0;    ///< 0 = the base path, n = "<path>.n"
   size_t records_ = 0;
+  size_t compactions_ = 0;
 };
 
 /// Reads a journal back: validates the header line, returns the record

@@ -8,89 +8,92 @@
 
 namespace stratrec::core {
 
-const AdparOrderings& AvailabilitySnapshot::orderings() const {
-  std::call_once(orderings_once_, [this] {
-    const std::vector<ParamVector>& params = params_;
-    const size_t n = params.size();
-    AdparOrderings& out = orderings_;
+void BuildAdparOrderings(const std::vector<ParamVector>& params,
+                         AdparOrderings* out_ptr) {
+  const size_t n = params.size();
+  AdparOrderings& out = *out_ptr;
 
-    out.by_cost.resize(n);
-    std::iota(out.by_cost.begin(), out.by_cost.end(), size_t{0});
-    std::sort(out.by_cost.begin(), out.by_cost.end(),
-              [&](size_t a, size_t b) {
-                if (params[a].cost != params[b].cost) {
-                  return params[a].cost < params[b].cost;
-                }
-                return a < b;
-              });
+  out.by_cost.resize(n);
+  std::iota(out.by_cost.begin(), out.by_cost.end(), size_t{0});
+  std::sort(out.by_cost.begin(), out.by_cost.end(),
+            [&](size_t a, size_t b) {
+              if (params[a].cost != params[b].cost) {
+                return params[a].cost < params[b].cost;
+              }
+              return a < b;
+            });
 
-    out.by_quality_desc.resize(n);
-    std::iota(out.by_quality_desc.begin(), out.by_quality_desc.end(),
-              size_t{0});
-    std::sort(out.by_quality_desc.begin(), out.by_quality_desc.end(),
-              [&](size_t a, size_t b) {
-                if (params[a].quality != params[b].quality) {
-                  return params[a].quality > params[b].quality;
-                }
-                return a < b;
-              });
+  out.by_quality_desc.resize(n);
+  std::iota(out.by_quality_desc.begin(), out.by_quality_desc.end(),
+            size_t{0});
+  std::sort(out.by_quality_desc.begin(), out.by_quality_desc.end(),
+            [&](size_t a, size_t b) {
+              if (params[a].quality != params[b].quality) {
+                return params[a].quality > params[b].quality;
+              }
+              return a < b;
+            });
 
-    // Skyline via a relaxation-space coordinate-sum sweep: a dominator's
-    // sum is strictly smaller, and domination is transitive, so checking
-    // each point against the skyline built so far is exhaustive. Both the
-    // membership test and the dominator counting below probe at most
-    // kMaxSkylineProbe members, which bounds the build at O(n * probe)
-    // even on adversarial (anti-correlated) catalogs whose true skyline is
-    // a large fraction of the input. The cap can only make the recorded
-    // "skyline" a superset of the true one and the dominator counts an
-    // undercount — both directions are safe for the pruning (fewer
-    // strategies skipped, never a wrong skip).
-    constexpr size_t kMaxSkylineProbe = 1024;
-    std::vector<size_t> by_sum(n);
-    std::iota(by_sum.begin(), by_sum.end(), size_t{0});
-    auto relax_sum = [&](size_t j) {
-      return (1.0 - params[j].quality) + params[j].cost + params[j].latency;
-    };
-    std::sort(by_sum.begin(), by_sum.end(), [&](size_t a, size_t b) {
-      if (relax_sum(a) != relax_sum(b)) return relax_sum(a) < relax_sum(b);
-      return a < b;
-    });
-    out.skyline.clear();
-    std::vector<double> skyline_sums;  // ascending, parallel to out.skyline
-    for (size_t j : by_sum) {
-      bool dominated = false;
-      const size_t probe = std::min(out.skyline.size(), kMaxSkylineProbe);
-      for (size_t i = 0; i < probe; ++i) {
-        if (Dominates(params[out.skyline[i]], params[j])) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) {
-        out.skyline.push_back(j);
-        skyline_sums.push_back(relax_sum(j));
-      }
-    }
-
-    // Capped dominator counts against the skyline only: a strict lower
-    // bound of the true dominance count, which is all the k-skyband safety
-    // argument needs. A dominator's coordinate sum is strictly smaller and
-    // skyline_sums is ascending, so the scan stops at the first member
-    // whose sum reaches the probed point's.
-    out.skyline_dominators.assign(n, 0);
-    const size_t probe_limit = std::min(out.skyline.size(), kMaxSkylineProbe);
-    for (size_t j = 0; j < n; ++j) {
-      const double sum_j = relax_sum(j);
-      uint16_t count = 0;
-      for (size_t i = 0; i < probe_limit; ++i) {
-        if (skyline_sums[i] >= sum_j) break;
-        if (Dominates(params[out.skyline[i]], params[j])) {
-          if (++count >= kSkylineDominatorCap) break;
-        }
-      }
-      out.skyline_dominators[j] = count;
-    }
+  // Skyline via a relaxation-space coordinate-sum sweep: a dominator's
+  // sum is strictly smaller, and domination is transitive, so checking
+  // each point against the skyline built so far is exhaustive. Both the
+  // membership test and the dominator counting below probe at most
+  // kMaxSkylineProbe members, which bounds the build at O(n * probe)
+  // even on adversarial (anti-correlated) catalogs whose true skyline is
+  // a large fraction of the input. The cap can only make the recorded
+  // "skyline" a superset of the true one and the dominator counts an
+  // undercount — both directions are safe for the pruning (fewer
+  // strategies skipped, never a wrong skip).
+  constexpr size_t kMaxSkylineProbe = 1024;
+  std::vector<size_t> by_sum(n);
+  std::iota(by_sum.begin(), by_sum.end(), size_t{0});
+  auto relax_sum = [&](size_t j) {
+    return (1.0 - params[j].quality) + params[j].cost + params[j].latency;
+  };
+  std::sort(by_sum.begin(), by_sum.end(), [&](size_t a, size_t b) {
+    if (relax_sum(a) != relax_sum(b)) return relax_sum(a) < relax_sum(b);
+    return a < b;
   });
+  out.skyline.clear();
+  std::vector<double> skyline_sums;  // ascending, parallel to out.skyline
+  for (size_t j : by_sum) {
+    bool dominated = false;
+    const size_t probe = std::min(out.skyline.size(), kMaxSkylineProbe);
+    for (size_t i = 0; i < probe; ++i) {
+      if (Dominates(params[out.skyline[i]], params[j])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.skyline.push_back(j);
+      skyline_sums.push_back(relax_sum(j));
+    }
+  }
+
+  // Capped dominator counts against the skyline only: a strict lower
+  // bound of the true dominance count, which is all the k-skyband safety
+  // argument needs. A dominator's coordinate sum is strictly smaller and
+  // skyline_sums is ascending, so the scan stops at the first member
+  // whose sum reaches the probed point's.
+  out.skyline_dominators.assign(n, 0);
+  const size_t probe_limit = std::min(out.skyline.size(), kMaxSkylineProbe);
+  for (size_t j = 0; j < n; ++j) {
+    const double sum_j = relax_sum(j);
+    uint16_t count = 0;
+    for (size_t i = 0; i < probe_limit; ++i) {
+      if (skyline_sums[i] >= sum_j) break;
+      if (Dominates(params[out.skyline[i]], params[j])) {
+        if (++count >= kSkylineDominatorCap) break;
+      }
+    }
+    out.skyline_dominators[j] = count;
+  }
+}
+
+const AdparOrderings& AvailabilitySnapshot::orderings() const {
+  std::call_once(orderings_once_,
+                 [this] { BuildAdparOrderings(params_, &orderings_); });
   return orderings_;
 }
 

@@ -69,6 +69,18 @@ struct AdparOrderings {
 /// k > the cap simply see no pruning (still correct, never wrong).
 inline constexpr uint16_t kSkylineDominatorCap = 64;
 
+/// Builds the complete AdparOrderings block for `params`: the by-cost and
+/// by-quality-descending index sorts, the bounded-probe skyline, and the
+/// capped dominator counts. Deterministic — every comparator is a total
+/// order with index tiebreaks — so any two builds over equal params produce
+/// identical vectors, regardless of what `out` previously held (the
+/// existing buffers are reused, which is what makes the stream layer's
+/// incremental re-sorts bit-identical to a fresh snapshot by construction).
+/// Shared by AvailabilitySnapshot::orderings() and stream::
+/// IncrementalSnapshot.
+void BuildAdparOrderings(const std::vector<ParamVector>& params,
+                         AdparOrderings* out);
+
 /// The orderings restricted to one cardinality's candidate subset
 /// (strategies not known-dominated by >= k others).
 struct PrunedOrderings {

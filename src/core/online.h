@@ -42,6 +42,8 @@ struct AdmissionDecision {
   Kind kind = Kind::kRejected;
   std::vector<size_t> strategies;
   double workforce = 0.0;
+
+  bool operator==(const AdmissionDecision&) const = default;
 };
 
 /// Lifetime counters of one scheduler.

@@ -670,6 +670,11 @@ api::ServiceStats ShardRouter::stats() const {
   out.local_hits = static_cast<size_t>(state_->executor.LocalHitCount());
   for (const api::Service& shard : state_->shards) {
     const api::ServiceStats s = shard.stats();
+    out.streams_opened += s.streams_opened;
+    out.stream_events += s.stream_events;
+    out.stream_reschedules += s.stream_reschedules;
+    out.snapshot_delta_updates += s.snapshot_delta_updates;
+    out.snapshot_rebuilds += s.snapshot_rebuilds;
     out.queue_depth += s.queue_depth;
     out.active_workers += s.active_workers;
     out.steals += s.steals;

@@ -107,8 +107,8 @@ class ShardRouter {
   size_t shards() const;
   const RouterConfig& config() const;
   /// Router-level counters (batches/sweeps/requests_processed/cancelled and
-  /// the admission pair) plus the shard gauges and cache/steal counters
-  /// summed across shards and the router pool.
+  /// the admission pair) plus the shard gauges, cache/steal counters, and
+  /// stream/snapshot counters summed across shards and the router pool.
   api::ServiceStats stats() const;
 
  private:

@@ -214,7 +214,57 @@ api::StreamOptions RandomStreamOptions(Rng& rng) {
     options.objective = rng.Bernoulli(0.5) ? core::Objective::kThroughput
                                            : core::Objective::kPayoff;
   }
+  if (rng.Bernoulli(0.5)) options.recommend_alternatives = rng.Bernoulli(0.5);
+  if (rng.Bernoulli(0.5)) options.session_id = RandomString(rng);
   return options;
+}
+
+core::AdmissionDecision RandomAdmissionDecision(Rng& rng) {
+  core::AdmissionDecision decision;
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      decision.kind = core::AdmissionDecision::Kind::kAdmitted;
+      break;
+    case 1:
+      decision.kind = core::AdmissionDecision::Kind::kQueued;
+      break;
+    default:
+      decision.kind = core::AdmissionDecision::Kind::kRejected;
+      break;
+  }
+  decision.strategies = RandomIndices(rng);
+  decision.workforce = RandomDouble(rng);
+  return decision;
+}
+
+api::StreamUpdate RandomStreamUpdate(Rng& rng) {
+  api::StreamUpdate update;
+  update.session_id = RandomString(rng);
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      update.kind = api::StreamEvent::Kind::kArrival;
+      break;
+    case 1:
+      update.kind = api::StreamEvent::Kind::kRevocation;
+      break;
+    case 2:
+      update.kind = api::StreamEvent::Kind::kCompletion;
+      break;
+    default:
+      update.kind = api::StreamEvent::Kind::kAvailabilityChange;
+      break;
+  }
+  update.request_id = RandomString(rng);
+  update.decision = RandomAdmissionDecision(rng);
+  if (rng.Bernoulli(0.5)) {
+    update.has_alternative = true;
+    update.alternative = RandomAdparResult(rng);
+  }
+  update.availability = RandomDouble(rng);
+  update.used_workforce = RandomDouble(rng);
+  update.active = static_cast<size_t>(rng.UniformInt(0, 1000));
+  update.pending = static_cast<size_t>(rng.UniformInt(0, 1000));
+  return update;
 }
 
 api::StreamEvent RandomStreamEvent(Rng& rng) {
@@ -244,6 +294,7 @@ api::ServiceConfig RandomConfig(Rng& rng) {
   config.batch.adpar_solver = RandomString(rng);
   config.stream.max_pending = static_cast<size_t>(rng.UniformInt(0, 1000));
   config.stream.readmit_on_release = rng.Bernoulli(0.5);
+  config.stream.recommend_alternatives = rng.Bernoulli(0.5);
   config.execution.worker_threads = static_cast<size_t>(rng.UniformInt(0, 64));
   config.execution.parallel_grain =
       static_cast<size_t>(rng.UniformInt(1, 10000));
@@ -257,6 +308,9 @@ api::ServiceConfig RandomConfig(Rng& rng) {
   config.journal.flush_every_record = rng.Bernoulli(0.5);
   config.journal.max_segment_bytes =
       rng.Bernoulli(0.5) ? 0 : static_cast<size_t>(rng.UniformInt(1, 1 << 20));
+  config.journal.compact_after_segments =
+      static_cast<size_t>(rng.UniformInt(0, 64));
+  config.journal.retain_segments = static_cast<size_t>(rng.UniformInt(0, 8));
   config.availability = RandomSpec(rng);
   return config;
 }
@@ -267,6 +321,10 @@ api::ServiceStats RandomServiceStats(Rng& rng) {
   stats.sweeps = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.streams_opened = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.stream_events = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.stream_reschedules = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.snapshot_delta_updates =
+      static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.snapshot_rebuilds = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.requests_processed = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.cancelled = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.queue_depth = static_cast<size_t>(rng.UniformInt(0, 100000));
@@ -343,6 +401,8 @@ TEST(CodecProperty, StreamEnvelopesRoundTrip) {
     ExpectRoundTrip(RandomStreamOptions(rng), DecodeStreamOptions,
                     "StreamOptions");
     ExpectRoundTrip(RandomStreamEvent(rng), DecodeStreamEvent, "StreamEvent");
+    ExpectRoundTrip(RandomStreamUpdate(rng), DecodeStreamUpdate,
+                    "StreamUpdate");
   }
 }
 
@@ -406,6 +466,9 @@ TEST(Codec, FieldNamesAreStable) {
   stats.sweeps = 2;
   stats.streams_opened = 3;
   stats.stream_events = 4;
+  stats.stream_reschedules = 16;
+  stats.snapshot_delta_updates = 17;
+  stats.snapshot_rebuilds = 18;
   stats.requests_processed = 5;
   stats.cancelled = 6;
   stats.queue_depth = 7;
@@ -419,7 +482,9 @@ TEST(Codec, FieldNamesAreStable) {
   stats.retry_after_hints = 15;
   EXPECT_EQ(json::Dump(Encode(stats)),
             "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
-            "\"stream_events\":4,\"requests_processed\":5,\"cancelled\":6,"
+            "\"stream_events\":4,\"stream_reschedules\":16,"
+            "\"snapshot_delta_updates\":17,\"snapshot_rebuilds\":18,"
+            "\"requests_processed\":5,\"cancelled\":6,"
             "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
             "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
             "\"index_build_nanos\":13,\"rejected_requests\":14,"
@@ -445,6 +510,82 @@ TEST(Codec, StatsRecordDecodesIntoTheTrace) {
   // Encoding is byte-deterministic: two identical snapshots, two identical
   // record lines.
   EXPECT_EQ(EncodeStatsRecord(stats), record);
+}
+
+TEST(Codec, StreamRecordsDecodeIntoTheTrace) {
+  Rng rng(0xC0DEC'0007ull);
+  StreamOpenRecord open;
+  open.session_id = "stream-000001";
+  open.options = RandomStreamOptions(rng);
+  open.availability = 0.625;
+
+  StreamEventRecord succeeded;
+  succeeded.session_id = open.session_id;
+  succeeded.seq = 0;
+  succeeded.event = api::StreamEvent::Arrival(RandomRequest(rng));
+  succeeded.update = RandomStreamUpdate(rng);
+
+  StreamEventRecord failed;
+  failed.session_id = open.session_id;
+  failed.seq = 1;
+  failed.event = api::StreamEvent::Revocation("ghost");
+  failed.status = Status::NotFound("unknown request id: ghost");
+
+  const std::string open_line = EncodeStreamOpenRecord(open);
+  EXPECT_EQ(open_line.rfind("{\"kind\":\"stream-open\",", 0), 0u)
+      << open_line;
+  const std::string ok_line = EncodeStreamEventRecord(succeeded);
+  EXPECT_EQ(ok_line.rfind("{\"kind\":\"stream-event\",", 0), 0u) << ok_line;
+  const std::string failed_line = EncodeStreamEventRecord(failed);
+
+  auto trace = DecodeTrace({open_line, ok_line, failed_line});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->stream_opens.size(), 1u);
+  EXPECT_TRUE(trace->stream_opens[0] == open);
+  ASSERT_EQ(trace->stream_events.size(), 2u);
+  EXPECT_TRUE(trace->stream_events[0] == succeeded);
+  EXPECT_TRUE(trace->stream_events[1] == failed);
+  // Byte-determinism is what replay's bit-match stands on.
+  EXPECT_EQ(EncodeStreamOpenRecord(trace->stream_opens[0]), open_line);
+  EXPECT_EQ(EncodeStreamEventRecord(trace->stream_events[0]), ok_line);
+  EXPECT_EQ(EncodeStreamEventRecord(trace->stream_events[1]), failed_line);
+}
+
+TEST(Codec, CompactRecordsKeepsTheSelfContainedCore) {
+  Rng rng(0xC0DEC'0009ull);
+  const std::string config_a = EncodeConfigRecord(RandomConfig(rng));
+  const std::string config_b = EncodeConfigRecord(RandomConfig(rng));
+  const std::string catalog = EncodeCatalogRecord(RandomCatalog(rng));
+  const std::string stats_a = EncodeStatsRecord(RandomServiceStats(rng));
+  const std::string stats_b = EncodeStatsRecord(RandomServiceStats(rng));
+  api::BatchRequest batch_request = RandomBatchRequest(rng);
+  const std::string pair =
+      EncodeBatchRecord("b1", batch_request, RandomBatchReport(rng));
+  StreamOpenRecord open;
+  open.session_id = "stream-000001";
+  open.availability = 0.5;
+  const std::string open_line = EncodeStreamOpenRecord(open);
+  StreamEventRecord event;
+  event.session_id = open.session_id;
+  event.event = api::StreamEvent::Completion("d1");
+  event.update = RandomStreamUpdate(rng);
+  const std::string event_line = EncodeStreamEventRecord(event);
+  const std::string unknown = "{\"kind\":\"future-record\",\"x\":1}";
+
+  const auto folded = CompactRecords({config_a, stats_a, pair, open_line,
+                                      unknown, event_line, config_b, catalog,
+                                      stats_b});
+  // Last config/catalog/stats survive; opens and unknown records survive in
+  // order; the pair and the stream event are dropped.
+  ASSERT_EQ(folded.size(), 5u);
+  EXPECT_EQ(folded[0], config_b);
+  EXPECT_EQ(folded[1], catalog);
+  EXPECT_EQ(folded[2], open_line);
+  EXPECT_EQ(folded[3], unknown);
+  EXPECT_EQ(folded[4], stats_b);
+
+  // Folding is idempotent: re-compacting the survivors changes nothing.
+  EXPECT_EQ(CompactRecords(folded), folded);
 }
 
 TEST(Codec, OptionalFieldsAreOmittedAndRestoredUnset) {

@@ -169,6 +169,77 @@ TEST(Journal, OversizedRecordGetsASegmentToItself) {
   EXPECT_EQ(all->back(), "tiny");
 }
 
+// Readers accept exactly the current format version: the v4 bump (stream
+// records, compaction) must not let a v4 reader silently misread an older
+// file, nor an older reader misread a compacted chain.
+TEST(Journal, OlderFormatVersionIsRejected) {
+  const std::string path = TempPath("old_version");
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs(("{\"format\":\"stratrec-journal\",\"version\":" +
+         std::to_string(kJournalFormatVersion - 1) + "}\nrec\n")
+            .c_str(),
+        f);
+  fclose(f);
+  EXPECT_EQ(JournalReader::ReadRecords(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+// ---------------------------------------------------------------------------
+
+TEST(Journal, CompactionRequiresRotationAndSaneRetention) {
+  JournalWriter::Options options;
+  options.compact_after_segments = 2;  // but no max_segment_bytes
+  EXPECT_EQ(JournalWriter::Open(TempPath("bad_compact1"), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  options.max_segment_bytes = 128;
+  options.retain_segments = 2;  // must be < compact_after_segments
+  EXPECT_EQ(JournalWriter::Open(TempPath("bad_compact2"), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The writer folds cold segments through a caller-supplied, codec-agnostic
+// callback; the chain stays readable and keeps the fold's output plus the
+// retained tail, in order.
+TEST(Journal, WriterFoldsColdSegmentsThroughTheCallback) {
+  const std::string path = TempPath("compaction");
+  RemoveSegments(path);
+  const std::string record(40, 'r');  // uniform 41-byte lines, 2 per segment
+  {
+    JournalWriter::Options options;
+    options.max_segment_bytes = 96;
+    options.compact_after_segments = 2;
+    options.retain_segments = 1;
+    options.compact = [](const std::vector<std::string>& cold) {
+      return std::vector<std::string>{
+          "{\"kind\":\"folded\",\"count\":" + std::to_string(cold.size()) +
+          "}"};
+    };
+    auto writer = JournalWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*writer)->Append(record + std::to_string(i)).ok());
+    }
+    EXPECT_GT((*writer)->compactions(), 0u);
+    EXPECT_EQ((*writer)->records_written(), 12u);
+  }
+  auto all = JournalReader::ReadAllSegments(path);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  // The fold's output leads the chain, and fewer raw records remain than
+  // were written (the rest live inside the summary).
+  ASSERT_FALSE(all->empty());
+  EXPECT_NE(all->front().find("\"kind\":\"folded\""), std::string::npos);
+  EXPECT_LT(all->size(), 12u);
+  // The retained tail is the most recent records, still in write order.
+  const std::string& last = all->back();
+  EXPECT_EQ(last, record + "11");
+}
+
 TEST(Journal, ServiceTraceSpansSegmentsAndStillReplays) {
   const std::string path = TempPath("segmented_trace");
   RemoveSegments(path);

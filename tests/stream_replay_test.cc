@@ -1,0 +1,350 @@
+// Stream subsystem tests: the incremental snapshot's bit-equivalence with
+// fresh full rebuilds after arbitrary event interleavings, StreamScheduler's
+// decision parity with the PR-0 OnlineScheduler, stream record -> replay
+// byte-identity across pool sizes, and replay over a compacted journal
+// chain (folded session prefixes are skipped, everything else reproduces).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/api/catalog.h"
+#include "src/api/replay.h"
+#include "src/api/service.h"
+#include "src/common/executor.h"
+#include "src/common/rng.h"
+#include "src/core/catalog_index.h"
+#include "src/core/online.h"
+#include "src/stream/incremental_snapshot.h"
+#include "src/stream/stream_scheduler.h"
+#include "src/workload/generators.h"
+
+namespace stratrec::api {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "stratrec_" + name + ".journal";
+}
+
+// TempDir persists across runs; stale segments from an earlier run must not
+// leak into a chain read.
+void RemoveSegments(const std::string& path) {
+  std::remove(path.c_str());
+  for (int i = 1; i <= 32; ++i) {
+    std::remove((path + "." + std::to_string(i)).c_str());
+  }
+}
+
+std::vector<core::DeploymentRequest> PoolRequests(uint64_t seed, int count,
+                                                  int k) {
+  workload::Generator generator({}, seed);
+  auto requests = generator.RequestsWithRanges(count, k, {0.5, 0.75},
+                                               {0.7, 1.0}, {0.7, 1.0});
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = "req-" + std::to_string(i);
+  }
+  return requests;
+}
+
+void ExpectOrderingsEqual(const core::AdparOrderings& a,
+                          const core::AdparOrderings& b) {
+  EXPECT_EQ(a.by_cost, b.by_cost);
+  EXPECT_EQ(a.by_quality_desc, b.by_quality_desc);
+  EXPECT_EQ(a.skyline, b.skyline);
+  EXPECT_EQ(a.skyline_dominators, b.skyline_dominators);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalSnapshot == full rebuild, property-checked.
+// ---------------------------------------------------------------------------
+
+// After any interleaving of absorbed events and availability moves, the
+// incrementally maintained params block and (lazily re-sorted) orderings
+// must be bit-identical to a fresh CatalogIndex::BuildSnapshot at the same
+// quantized W — the invariant that makes stream replay deterministic.
+TEST(IncrementalSnapshot, MatchesFullRebuildAfterArbitraryInterleavings) {
+  workload::Generator generator({}, 0x5EED'0001ull);
+  const auto profiles = generator.Profiles(300);
+  const core::CatalogIndex index = core::CatalogIndex::Build(profiles);
+
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    Rng rng(0xABC0ull + trial);
+    // Half the trials quantize; half advance on any W move at all.
+    const double quantum = trial % 2 == 0 ? 0.05 : 0.0;
+    stream::IncrementalSnapshot snapshot(&index, nullptr, rng.Uniform(),
+                                         quantum);
+    for (int step = 0; step < 40; ++step) {
+      const double roll = rng.Uniform();
+      if (roll < 0.5) {
+        snapshot.NoteAbsorbedEvent();  // arrival / revocation / completion
+      } else if (roll < 0.8) {
+        snapshot.Advance(rng.Uniform());  // jump anywhere in [0, 1)
+      } else {
+        // Small drift; under the quantum this absorbs without a rebuild.
+        snapshot.Advance(snapshot.quantized_availability() +
+                         rng.Uniform(-0.02, 0.02));
+      }
+      if (step % 7 == 0) {
+        const auto fresh =
+            index.BuildSnapshot(snapshot.quantized_availability());
+        EXPECT_EQ(snapshot.params(), fresh->params());
+        ExpectOrderingsEqual(snapshot.orderings(), fresh->orderings());
+      }
+    }
+    const auto fresh = index.BuildSnapshot(snapshot.quantized_availability());
+    EXPECT_EQ(snapshot.params(), fresh->params());
+    ExpectOrderingsEqual(snapshot.orderings(), fresh->orderings());
+    EXPECT_GT(snapshot.delta_updates(), 0u);
+  }
+}
+
+TEST(IncrementalSnapshot, QuantumAbsorbsSubGridDrift) {
+  workload::Generator generator({}, 0x5EED'0002ull);
+  const auto profiles = generator.Profiles(50);
+  const core::CatalogIndex index = core::CatalogIndex::Build(profiles);
+
+  stream::IncrementalSnapshot snapshot(&index, nullptr, 0.5,
+                                       /*quantum=*/0.05);
+  EXPECT_FALSE(snapshot.Advance(0.51));  // same 0.05 cell
+  EXPECT_FALSE(snapshot.Advance(0.49));
+  EXPECT_EQ(snapshot.rebuilds(), 0u);
+  EXPECT_EQ(snapshot.delta_updates(), 2u);
+  EXPECT_TRUE(snapshot.Advance(0.60));  // genuinely moved
+  EXPECT_EQ(snapshot.rebuilds(), 1u);
+  // Compare at the snapshot's own quantized W: round(0.60 / 0.05) * 0.05 is
+  // one ulp above the literal 0.6, and the bit-identity contract is stated
+  // against BuildSnapshot(quantized_availability()).
+  EXPECT_EQ(snapshot.params(),
+            index.BuildSnapshot(snapshot.quantized_availability())->params());
+}
+
+// ---------------------------------------------------------------------------
+// StreamScheduler == OnlineScheduler, decision by decision.
+// ---------------------------------------------------------------------------
+
+// The stream rewrite must keep the PR-0 semantics exactly: same admission
+// kinds, strategies, workforce, statuses, and lifetime counters for any
+// event interleaving — only the maintenance strategy differs.
+TEST(StreamScheduler, DecisionParityWithOnlineScheduler) {
+  workload::Generator generator({}, 0x5EED'0003ull);
+  const auto profiles = generator.Profiles(200);
+  const core::CatalogIndex index = core::CatalogIndex::Build(profiles);
+  Executor executor(2);
+
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    const auto requests = PoolRequests(0xFEED'0000ull + trial, 80, 3);
+    stream::StreamSchedulerOptions stream_options;
+    stream_options.max_pending = 8;
+    auto incremental =
+        stream::StreamScheduler::Create(&index, &executor, 0.5, stream_options);
+    ASSERT_TRUE(incremental.ok());
+    core::OnlineOptions online_options;
+    online_options.max_pending = 8;
+    auto reference =
+        core::OnlineScheduler::Create(profiles, 0.5, online_options);
+    ASSERT_TRUE(reference.ok());
+
+    Rng rng(0xD1CE'0000ull + trial);
+    double w = 0.5;
+    size_t next = 0;
+    std::vector<std::string> issued;
+    for (int step = 0; step < 120; ++step) {
+      const double roll = rng.Uniform();
+      if (roll < 0.5 && next < requests.size()) {
+        const auto& request = requests[next++];
+        issued.push_back(request.id);
+        auto a = incremental->OnArrival(request);
+        auto b = reference->OnArrival(request);
+        ASSERT_EQ(a.ok(), b.ok());
+        if (a.ok()) {
+          EXPECT_EQ(a->decision, *b);
+        }
+      } else if (roll < 0.75 && !issued.empty()) {
+        // Revoke / complete a random issued id — including ids that were
+        // rejected or already released, so the failure paths align too.
+        const auto& id = issued[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(issued.size()) - 1))];
+        if (rng.Bernoulli(0.5)) {
+          EXPECT_EQ(incremental->OnRevocation(id).code(),
+                    reference->OnRevocation(id).code());
+        } else {
+          EXPECT_EQ(incremental->OnCompletion(id).code(),
+                    reference->OnCompletion(id).code());
+        }
+      } else {
+        w = rng.Uniform(0.2, 0.9);
+        EXPECT_TRUE(incremental->SetAvailability(w).ok());
+        EXPECT_TRUE(reference->SetAvailability(w).ok());
+      }
+      EXPECT_DOUBLE_EQ(incremental->used_workforce(),
+                       reference->used_workforce());
+      EXPECT_EQ(incremental->active(), reference->active());
+      EXPECT_EQ(incremental->pending(), reference->pending());
+    }
+    const core::OnlineStats& a = incremental->stats();
+    const core::OnlineStats& b = reference->stats();
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.queued, b.queued);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.revoked, b.revoked);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record -> replay byte-identity.
+// ---------------------------------------------------------------------------
+
+/// Drives one journaled session through every event kind (successes and
+/// failures) and returns the number of Submit calls made.
+size_t DriveRecordedSession(const Service& service, bool alternatives) {
+  StreamOptions options;
+  options.recommend_alternatives = alternatives;
+  auto session = service.OpenStream(options);
+  if (!session.ok()) {
+    ADD_FAILURE() << "session failed to open: "
+                  << session.status().ToString();
+    return 0;
+  }
+  const auto requests = PoolRequests(0xCAFEull, 24, 3);
+  size_t events = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    (void)session->Submit(StreamEvent::Arrival(requests[i]));
+    ++events;
+    if (i % 5 == 2) {
+      (void)session->Submit(StreamEvent::Completion(requests[i].id));
+      ++events;
+    }
+    if (i % 7 == 3) {
+      (void)session->Submit(StreamEvent::Revocation(requests[i / 2].id));
+      ++events;
+    }
+    if (i % 6 == 4) {
+      (void)session->Submit(StreamEvent::AvailabilityChange(
+          AvailabilitySpec::Fixed(0.3 + 0.05 * static_cast<double>(i % 8))));
+      ++events;
+    }
+  }
+  // A guaranteed failure record: replay must reproduce the Status bytes.
+  (void)session->Submit(StreamEvent::Revocation("ghost"));
+  ++events;
+  return events;
+}
+
+TEST(StreamReplay, ByteIdenticalAcrossPoolSizes) {
+  const std::string path = TempPath("stream_replay");
+  RemoveSegments(path);
+  workload::Generator generator({}, 0x5EED'0004ull);
+  const auto profiles = generator.Profiles(120);
+
+  size_t recorded_events = 0;
+  {
+    ServiceConfig config;
+    config.journal.path = path;
+    auto service = Service::Create(CatalogFromProfiles(profiles), config);
+    ASSERT_TRUE(service.ok());
+    // The ADPaR-alternatives leg rides the snapshot orderings; record it
+    // alongside a plain session so replay covers both shapes.
+    recorded_events += DriveRecordedSession(*service, /*alternatives=*/true);
+    recorded_events += DriveRecordedSession(*service, /*alternatives=*/false);
+  }
+
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->stream_opens.size(), 2u);
+  ASSERT_EQ(trace->stream_events.size(), recorded_events);
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    wire::ReplayOptions options;
+    options.worker_threads = threads;
+    auto result = wire::ReplayTrace(*trace, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->ok()) << result->mismatched.size() << " mismatches at "
+                              << threads << " threads, first: "
+                              << result->mismatched.front();
+    EXPECT_EQ(result->stream_sessions, 2u);
+    EXPECT_EQ(result->stream_events_replayed, recorded_events);
+    EXPECT_EQ(result->stream_matched, recorded_events);
+    EXPECT_EQ(result->stream_skipped_sessions, 0u);
+  }
+}
+
+// Replay rounds re-drive stream sessions under round-suffixed ids, so one
+// trace can be used as a bigger deterministic workload.
+TEST(StreamReplay, RoundsMultiplySessionsAndStillMatch) {
+  const std::string path = TempPath("stream_rounds");
+  RemoveSegments(path);
+  workload::Generator generator({}, 0x5EED'0005ull);
+  const auto profiles = generator.Profiles(60);
+  size_t recorded_events = 0;
+  {
+    ServiceConfig config;
+    config.journal.path = path;
+    auto service = Service::Create(CatalogFromProfiles(profiles), config);
+    ASSERT_TRUE(service.ok());
+    recorded_events = DriveRecordedSession(*service, /*alternatives=*/false);
+  }
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok());
+  wire::ReplayOptions options;
+  options.rounds = 3;
+  auto result = wire::ReplayTrace(*trace, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->stream_sessions, 3u);
+  EXPECT_EQ(result->stream_matched, 3 * recorded_events);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction transparency.
+// ---------------------------------------------------------------------------
+
+// A journal that compacted while recording still reads as one trace:
+// config/catalog/opens survive the fold, and replay skips exactly the
+// sessions whose event prefix was folded away (seq gap) — no mismatches.
+TEST(StreamReplay, CompactedChainReplaysWithFoldedSessionsSkipped) {
+  const std::string path = TempPath("stream_compacted");
+  RemoveSegments(path);
+  workload::Generator generator({}, 0x5EED'0006ull);
+  const auto profiles = generator.Profiles(60);
+
+  size_t recorded_events = 0;
+  {
+    ServiceConfig config;
+    config.journal.path = path;
+    // Small segments + an aggressive fold: the early session's events land
+    // in segments that are folded away while it is still live.
+    config.journal.max_segment_bytes = 2048;
+    config.journal.compact_after_segments = 2;
+    config.journal.retain_segments = 1;
+    auto service = Service::Create(CatalogFromProfiles(profiles), config);
+    ASSERT_TRUE(service.ok());
+    recorded_events += DriveRecordedSession(*service, /*alternatives=*/false);
+    recorded_events += DriveRecordedSession(*service, /*alternatives=*/false);
+  }
+
+  auto trace = wire::ReadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->has_config);
+  EXPECT_TRUE(trace->has_catalog);
+  // Compaction actually dropped cold events; every open survived the fold.
+  EXPECT_LT(trace->stream_events.size(), recorded_events)
+      << "expected the chain to compact; raise the event count if the "
+         "records shrank below two segments";
+  EXPECT_EQ(trace->stream_opens.size(), 2u);
+
+  auto result = wire::ReplayTrace(*trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok()) << "replay over a compacted chain must skip, "
+                               "never mismatch";
+  EXPECT_EQ(result->stream_sessions + result->stream_skipped_sessions, 2u);
+  EXPECT_GT(result->stream_skipped_sessions, 0u)
+      << "the folded session should be unreconstructible";
+  EXPECT_EQ(result->stream_matched, result->stream_events_replayed);
+}
+
+}  // namespace
+}  // namespace stratrec::api
