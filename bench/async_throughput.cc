@@ -18,6 +18,7 @@
 #include "src/api/catalog.h"
 #include "src/api/service.h"
 #include "src/common/ascii_table.h"
+#include "src/core/kernels/kernels.h"
 #include "src/workload/generators.h"
 
 namespace {
@@ -173,7 +174,12 @@ int main(int argc, char** argv) {
                      ", \"requests_per_batch\": " +
                      std::to_string(requests_per_batch) +
                      ", \"hardware_threads\": " + std::to_string(hardware) +
-                     "},\n  \"runs\": [";
+                     ", \"kernel_dispatch\": \"" +
+                     stratrec::core::kernels::DispatchLevelName(
+                         stratrec::core::kernels::ActiveDispatchLevel()) +
+                     "\", \"compiler_flags\": \"" +
+                     stratrec::core::kernels::CompileFlags() +
+                     "\"},\n  \"runs\": [";
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& run = results[i];
     json += (i == 0 ? "\n" : ",\n");

@@ -15,8 +15,16 @@
 // every batch exercises the ADPaR leg — the regime where the per-request
 // O(|S| log |S|) sort dominates the unindexed path.
 //
+// The indexed leg is timed twice — once with kernel dispatch forced to
+// scalar, once at the active level — so one run measures the SIMD win on the
+// same workload (simd_speedup in the JSON; ~1.0 on non-AVX2 hosts where the
+// active level *is* scalar).
+//
 // Usage: bench_catalog_index [sizes_csv] [batches] [requests_per_batch]
-//        (defaults: 10000,100000,1000000  8  10)
+//                            [mode] [output_path]
+//        (defaults: 10000,100000,1000000  8  10  full  catalog_index.json)
+//        mode "indexed-only" skips the unindexed leg (whose 1M run costs
+//        ~50s) — the CI dispatch assertion uses it.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +34,7 @@
 
 #include "src/api/catalog.h"
 #include "src/common/ascii_table.h"
+#include "src/core/kernels/kernels.h"
 #include "src/core/stratrec.h"
 #include "src/workload/generators.h"
 
@@ -47,8 +56,10 @@ struct SizeResult {
   size_t batches = 0;
   size_t requests_per_batch = 0;
   LegResult unindexed;
-  LegResult indexed;
-  double speedup = 0.0;
+  LegResult indexed;         // active kernel dispatch
+  LegResult indexed_scalar;  // kernel dispatch forced to scalar
+  double speedup = 0.0;       // unindexed vs indexed (active dispatch)
+  double simd_speedup = 0.0;  // indexed scalar vs indexed active
   double snapshot_build_seconds = 0.0;
   uint64_t index_build_nanos = 0;
 };
@@ -103,7 +114,7 @@ LegResult RunLeg(const core::StratRec& stratrec,
 }
 
 SizeResult RunSize(size_t num_strategies, size_t num_batches,
-                   size_t requests_per_batch) {
+                   size_t requests_per_batch, bool indexed_only) {
   workload::Generator generator({}, 0xCA7A'0106ull);
   const auto profiles =
       generator.Profiles(static_cast<int>(num_strategies));
@@ -137,7 +148,9 @@ SizeResult RunSize(size_t num_strategies, size_t num_batches,
   core::StratRecOptions unindexed;
   unindexed.batch.aggregation = core::AggregationMode::kSum;
   unindexed.batch.use_catalog_index = false;
-  result.unindexed = RunLeg(*stratrec, batches, unindexed);
+  if (!indexed_only) {
+    result.unindexed = RunLeg(*stratrec, batches, unindexed);
+  }
 
   core::StratRecOptions indexed;
   indexed.batch.aggregation = core::AggregationMode::kSum;
@@ -154,19 +167,34 @@ SizeResult RunSize(size_t num_strategies, size_t num_batches,
                                     snapshot_start)
           .count();
   indexed.snapshot = *snapshot;
+  // Scalar-forced leg first, then the active dispatch level on the same
+  // batches; the snapshot's derived state is shared (bit-identical under
+  // both levels), so only the per-batch kernels differ.
+  stratrec::core::kernels::Configure(
+      {stratrec::core::kernels::DispatchLevel::kScalar});
+  result.indexed_scalar = RunLeg(*stratrec, batches, indexed);
+  stratrec::core::kernels::Configure({});  // restore startup resolution
   result.indexed = RunLeg(*stratrec, batches, indexed);
   result.index_build_nanos = stratrec->aggregator().index_build_nanos();
 
-  if (result.indexed.alternatives != result.unindexed.alternatives) {
+  if (result.indexed.alternatives != result.indexed_scalar.alternatives ||
+      (!indexed_only &&
+       result.indexed.alternatives != result.unindexed.alternatives)) {
     std::fprintf(stderr,
-                 "leg mismatch at |S|=%zu: %zu vs %zu alternatives\n",
+                 "leg mismatch at |S|=%zu: %zu unindexed / %zu scalar / %zu "
+                 "indexed alternatives\n",
                  num_strategies, result.unindexed.alternatives,
+                 result.indexed_scalar.alternatives,
                  result.indexed.alternatives);
     std::exit(1);
   }
   result.speedup = result.unindexed.seconds > 0.0
                        ? result.unindexed.seconds / result.indexed.seconds
                        : 0.0;
+  result.simd_speedup =
+      result.indexed.seconds > 0.0
+          ? result.indexed_scalar.seconds / result.indexed.seconds
+          : 0.0;
   return result;
 }
 
@@ -180,29 +208,41 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
   const size_t requests_per_batch =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+  const bool indexed_only =
+      argc > 4 && std::string(argv[4]) == "indexed-only";
+  const char* output_path = argc > 5 ? argv[5] : "catalog_index.json";
 
+  const char* dispatch = stratrec::core::kernels::DispatchLevelName(
+      stratrec::core::kernels::ActiveDispatchLevel());
   std::printf(
       "CatalogIndex: repeated-availability batch workload, %zu batches x "
-      "%zu requests at W = %.2f, single thread.\n\n",
-      num_batches, requests_per_batch, kAvailability);
+      "%zu requests at W = %.2f, single thread, kernels: %s%s.\n\n",
+      num_batches, requests_per_batch, kAvailability, dispatch,
+      indexed_only ? " (indexed legs only)" : "");
 
   std::vector<SizeResult> results;
   for (size_t size : sizes) {
-    results.push_back(RunSize(size, num_batches, requests_per_batch));
+    results.push_back(
+        RunSize(size, num_batches, requests_per_batch, indexed_only));
     const SizeResult& r = results.back();
-    std::printf("|S| = %zu done: %.2fx (unindexed %.3fs, indexed %.3fs)\n",
-                r.strategies, r.speedup, r.unindexed.seconds,
-                r.indexed.seconds);
+    std::printf(
+        "|S| = %zu done: index %.2fx, simd %.2fx (unindexed %.3fs, "
+        "indexed scalar %.3fs, indexed %s %.3fs)\n",
+        r.strategies, r.speedup, r.simd_speedup, r.unindexed.seconds,
+        r.indexed_scalar.seconds, dispatch, r.indexed.seconds);
   }
 
   stratrec::AsciiTable table({"strategies", "unindexed batches/s",
-                              "indexed batches/s", "speedup",
+                              "indexed scalar batches/s",
+                              "indexed batches/s", "speedup", "simd speedup",
                               "snapshot build (s)", "alternatives"});
   for (const SizeResult& r : results) {
     table.AddRow({std::to_string(r.strategies),
                   stratrec::FormatDouble(r.unindexed.batches_per_sec, 3),
+                  stratrec::FormatDouble(r.indexed_scalar.batches_per_sec, 3),
                   stratrec::FormatDouble(r.indexed.batches_per_sec, 3),
                   stratrec::FormatDouble(r.speedup, 2) + "x",
+                  stratrec::FormatDouble(r.simd_speedup, 2) + "x",
                   stratrec::FormatDouble(r.snapshot_build_seconds, 3),
                   std::to_string(r.indexed.alternatives)});
   }
@@ -211,14 +251,18 @@ int main(int argc, char** argv) {
 
   // The workload block states the box it ran on: a baseline from a 1-core
   // CI runner and one from a wide dev box are not comparable, and the
-  // hardware_threads field is what makes the difference visible.
+  // hardware_threads / kernel_dispatch / compiler_flags fields are what
+  // make the difference visible.
   std::string json =
       "{\n  \"workload\": {\"batches\": " + std::to_string(num_batches) +
       ", \"requests_per_batch\": " + std::to_string(requests_per_batch) +
       ", \"availability\": " + stratrec::FormatDouble(kAvailability, 2) +
       ", \"threads\": 1, \"hardware_threads\": " +
       std::to_string(std::thread::hardware_concurrency()) +
-      "},\n  \"sizes\": [";
+      ", \"kernel_dispatch\": \"" + dispatch +
+      "\", \"compiler_flags\": \"" +
+      stratrec::core::kernels::CompileFlags() +
+      "\"},\n  \"sizes\": [";
   for (size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     json += (i == 0 ? "\n" : ",\n");
@@ -231,7 +275,13 @@ int main(int argc, char** argv) {
             stratrec::FormatDouble(r.unindexed.batches_per_sec, 3) +
             ", \"indexed_batches_per_sec\": " +
             stratrec::FormatDouble(r.indexed.batches_per_sec, 3) +
+            ", \"indexed_scalar_seconds\": " +
+            stratrec::FormatDouble(r.indexed_scalar.seconds, 6) +
+            ", \"indexed_scalar_batches_per_sec\": " +
+            stratrec::FormatDouble(r.indexed_scalar.batches_per_sec, 3) +
             ", \"speedup\": " + stratrec::FormatDouble(r.speedup, 3) +
+            ", \"simd_speedup\": " +
+            stratrec::FormatDouble(r.simd_speedup, 3) +
             ", \"snapshot_build_seconds\": " +
             stratrec::FormatDouble(r.snapshot_build_seconds, 6) +
             ", \"index_build_nanos\": " +
@@ -242,10 +292,10 @@ int main(int argc, char** argv) {
   json += "\n  ]\n}\n";
   std::printf("\n%s", json.c_str());
 
-  if (FILE* out = std::fopen("catalog_index.json", "w")) {
+  if (FILE* out = std::fopen(output_path, "w")) {
     std::fputs(json.c_str(), out);
     std::fclose(out);
-    std::printf("(written to catalog_index.json)\n");
+    std::printf("(written to %s)\n", output_path);
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "src/api/replay.h"
 #include "src/common/ascii_table.h"
 #include "src/common/json.h"
+#include "src/core/kernels/kernels.h"
 
 namespace {
 
@@ -121,6 +122,10 @@ int main(int argc, char** argv) {
   workload.Add("recorded_pairs", trace->pairs.size());
   workload.Add("rounds", rounds == 0 ? size_t{1} : rounds);
   workload.Add("hardware_threads", size_t{hardware});
+  workload.Add("kernel_dispatch",
+               std::string(stratrec::core::kernels::DispatchLevelName(
+                   stratrec::core::kernels::ActiveDispatchLevel())));
+  workload.Add("compiler_flags", stratrec::core::kernels::CompileFlags());
   doc.Add("workload", std::move(workload));
   json::Value run_rows = json::Value::Array();
   for (const Run& run : runs) {

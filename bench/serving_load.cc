@@ -28,6 +28,7 @@
 #include "src/api/service.h"
 #include "src/common/ascii_table.h"
 #include "src/common/json.h"
+#include "src/core/kernels/kernels.h"
 #include "src/net/http_client.h"
 #include "src/net/serving.h"
 #include "src/workload/generators.h"
@@ -273,7 +274,11 @@ int main(int argc, char** argv) {
       ", \"clients\": " + std::to_string(num_clients) +
       ", \"requests_per_client\": " + std::to_string(requests_per_client) +
       ", \"hardware_threads\": " + std::to_string(hardware) +
-      "},\n  \"results\": {\"requests\": " + std::to_string(latencies.size()) +
+      ", \"kernel_dispatch\": \"" +
+      stratrec::core::kernels::DispatchLevelName(
+          stratrec::core::kernels::ActiveDispatchLevel()) +
+      "\", \"compiler_flags\": \"" + stratrec::core::kernels::CompileFlags() +
+      "\"},\n  \"results\": {\"requests\": " + std::to_string(latencies.size()) +
       ", \"seconds\": " + stratrec::FormatDouble(wall.count(), 6) +
       ", \"p50_ms\": " + stratrec::FormatDouble(p50, 3) +
       ", \"p95_ms\": " + stratrec::FormatDouble(p95, 3) +

@@ -40,6 +40,7 @@
 #include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/core/catalog_index.h"
+#include "src/core/kernels/kernels.h"
 #include "src/core/online.h"
 #include "src/stream/stream_scheduler.h"
 #include "src/workload/generators.h"
@@ -511,7 +512,11 @@ int main(int argc, char** argv) {
       stratrec::FormatDouble(kAvailabilityQuantum, 2) +
       ", \"hardware_threads\": " +
       std::to_string(std::thread::hardware_concurrency()) +
-      "},\n  \"scenarios\": [";
+      ", \"kernel_dispatch\": \"" +
+      stratrec::core::kernels::DispatchLevelName(
+          stratrec::core::kernels::ActiveDispatchLevel()) +
+      "\", \"compiler_flags\": \"" + stratrec::core::kernels::CompileFlags() +
+      "\"},\n  \"scenarios\": [";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     json += (i == 0 ? "\n" : ",\n");

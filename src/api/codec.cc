@@ -1172,6 +1172,7 @@ json::Value Encode(const api::ServiceStats& stats) {
   obj.Add("index_build_nanos", stats.index_build_nanos);
   obj.Add("rejected_requests", stats.rejected_requests);
   obj.Add("retry_after_hints", stats.retry_after_hints);
+  obj.Add("kernel_dispatch", stats.kernel_dispatch);
   return obj;
 }
 
@@ -1207,6 +1208,8 @@ Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
       GetSize(value, "rejected_requests", &stats.rejected_requests));
   STRATREC_RETURN_NOT_OK(
       GetSize(value, "retry_after_hints", &stats.retry_after_hints));
+  STRATREC_RETURN_NOT_OK(
+      GetString(value, "kernel_dispatch", &stats.kernel_dispatch));
   return stats;
 }
 

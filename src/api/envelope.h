@@ -311,6 +311,12 @@ struct ServiceStats {
   /// one stats envelope (and one codec) covers both tiers.
   size_t rejected_requests = 0;
   size_t retry_after_hints = 0;
+  /// Active SIMD dispatch level of the SoA kernels ("avx2" or "scalar";
+  /// core::kernels::DispatchLevelName), sampled at stats() time. Surfaced on
+  /// /v1/stats so a fleet can verify which code path each box runs — a
+  /// binary on pre-AVX2 hardware or started with STRATREC_FORCE_SCALAR=1
+  /// reports "scalar".
+  std::string kernel_dispatch;
 
   bool operator==(const ServiceStats&) const = default;
 };

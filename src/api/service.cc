@@ -21,6 +21,7 @@
 #include "src/common/journal.h"
 #include "src/common/logging.h"
 #include "src/core/catalog_index.h"
+#include "src/core/kernels/kernels.h"
 #include "src/core/workforce.h"
 #include "src/stream/stream_scheduler.h"
 
@@ -728,6 +729,8 @@ ServiceStats Service::stats() const {
   out.local_hits = static_cast<size_t>(state_->executor.LocalHitCount());
   out.index_build_nanos = static_cast<size_t>(
       state_->stratrec.aggregator().index_build_nanos());
+  out.kernel_dispatch =
+      core::kernels::DispatchLevelName(core::kernels::ActiveDispatchLevel());
   return out;
 }
 

@@ -44,7 +44,9 @@ inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// records the stream_reschedules/snapshot_delta_updates/snapshot_rebuilds
 /// counters, and segment chains may be compacted (cold segments folded into
 /// the base — see JournalWriter::Options::compact_after_segments).
-inline constexpr int kJournalFormatVersion = 4;
+/// v5: stats records carry the kernel_dispatch level ("avx2"/"scalar") of
+/// the SoA SIMD kernels.
+inline constexpr int kJournalFormatVersion = 5;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.

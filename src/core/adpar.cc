@@ -46,13 +46,16 @@ void FillTraceSteps(const std::vector<ParamVector>& strategies,
                    });
 }
 
-/// The two-level sweep over a candidate subset. `strategies` is the full
-/// parameter list; `by_cost` (ascending cost) and `by_quality_desc`
-/// (descending quality) are orderings over the candidate subset — the whole
-/// list for the classic entry point, the skyline-pruned subset for the
-/// index-accepting one. Both entry points funnel here so the float
-/// operations per evaluated candidate are literally the same, which is what
-/// keeps the indexed path bit-identical to the unindexed one.
+/// The two-level sweep over a candidate subset, reading *values* only:
+/// `cost_sorted` holds the candidate parameter vectors ascending by cost and
+/// `quality_desc` their qualities descending — permuted contiguous copies of
+/// the ordering (AdparOrderings::by_cost_params / by_quality_desc_quality
+/// on the indexed path, built on the fly on the classic one). The sweep
+/// re-scans these arrays per quality candidate, so streaming contiguous
+/// memory instead of gathering through the index permutation is what makes
+/// large |S| affordable; the float operations per evaluated candidate are
+/// literally the same either way, which is what keeps the indexed path
+/// bit-identical to the unindexed one.
 ///
 /// Returns the best tight alternative, or +inf squared distance when no
 /// candidate covers k subset strategies.
@@ -61,17 +64,15 @@ struct SweepBest {
   ParamVector alternative{};
 };
 
-SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
-                         const std::vector<size_t>& by_cost,
-                         const std::vector<size_t>& by_quality_desc,
-                         const ParamVector& request, size_t uk,
-                         AdparTrace* trace) {
+SweepBest SweepValues(const std::vector<ParamVector>& cost_sorted,
+                      const std::vector<double>& quality_desc,
+                      const ParamVector& request, size_t uk,
+                      AdparTrace* trace) {
   // Candidate quality thresholds: the original bound plus every strictly
   // weaker subset quality (tightness — Lemma 1/2), descending and deduped.
   std::vector<double> quality_candidates = {request.quality};
-  quality_candidates.reserve(by_quality_desc.size() + 1);
-  for (size_t j : by_quality_desc) {
-    const double q = strategies[j].quality;
+  quality_candidates.reserve(quality_desc.size() + 1);
+  for (double q : quality_desc) {
     if (q >= request.quality) continue;
     if (q != quality_candidates.back()) quality_candidates.push_back(q);
   }
@@ -90,8 +91,8 @@ SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
     geo::KSmallestTracker latencies(uk);
     size_t cursor = 0;
     auto admit_up_to = [&](double cost_bound) {
-      while (cursor < by_cost.size()) {
-        const ParamVector& s = strategies[by_cost[cursor]];
+      while (cursor < cost_sorted.size()) {
+        const ParamVector& s = cost_sorted[cursor];
         if (s.cost > cost_bound + kEps) break;
         if (ApproxGe(s.quality, q)) latencies.Push(s.latency);
         ++cursor;
@@ -101,8 +102,7 @@ SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
     // Candidate cost thresholds: the original bound plus every strictly
     // larger subset cost (ascending; the sweep only ever relaxes).
     std::vector<double> cost_candidates = {request.cost};
-    for (size_t j : by_cost) {
-      const ParamVector& s = strategies[j];
+    for (const ParamVector& s : cost_sorted) {
       if (s.cost > request.cost && ApproxGe(s.quality, q)) {
         cost_candidates.push_back(s.cost);
       }
@@ -135,6 +135,26 @@ SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
   return best;
 }
 
+/// Builds the permuted value arrays SweepValues wants from an index-based
+/// ordering pair — one O(n) gather, paid once per call instead of once per
+/// quality candidate inside the sweep. The snapshot path skips even this
+/// (the arrays are cached on AdparOrderings / PrunedOrderings).
+SweepBest SweepOrderings(const std::vector<ParamVector>& strategies,
+                         const std::vector<size_t>& by_cost,
+                         const std::vector<size_t>& by_quality_desc,
+                         const ParamVector& request, size_t uk,
+                         AdparTrace* trace) {
+  std::vector<ParamVector> cost_sorted;
+  cost_sorted.reserve(by_cost.size());
+  for (size_t j : by_cost) cost_sorted.push_back(strategies[j]);
+  std::vector<double> quality_desc;
+  quality_desc.reserve(by_quality_desc.size());
+  for (size_t j : by_quality_desc) {
+    quality_desc.push_back(strategies[j].quality);
+  }
+  return SweepValues(cost_sorted, quality_desc, request, uk, trace);
+}
+
 Result<AdparResult> FinishSweep(const std::vector<ParamVector>& strategies,
                                 const SweepBest& best, int k) {
   if (!std::isfinite(best.squared)) {
@@ -164,14 +184,24 @@ Result<std::vector<size_t>> SelectCoveredStrategies(
   if (covered.size() < static_cast<size_t>(k)) {
     return Status::Internal("alternative does not cover k strategies");
   }
-  std::sort(covered.begin(), covered.end(), [&](size_t a, size_t b) {
-    const ParamVector& pa = strategies[a];
-    const ParamVector& pb = strategies[b];
-    if (pa.cost != pb.cost) return pa.cost < pb.cost;
-    if (pa.latency != pb.latency) return pa.latency < pb.latency;
-    if (pa.quality != pb.quality) return pa.quality > pb.quality;
-    return a < b;
-  });
+  // Only the k cheapest survive; the comparator is a total order (index
+  // tiebreak), so the k-prefix partial_sort yields is exactly the prefix a
+  // full sort would — at O(n log k) instead of O(n log n) over a covered
+  // set that can be most of the catalog.
+  std::partial_sort(covered.begin(),
+                    covered.begin() + static_cast<ptrdiff_t>(k),
+                    covered.end(), [&](size_t a, size_t b) {
+                      const ParamVector& pa = strategies[a];
+                      const ParamVector& pb = strategies[b];
+                      if (pa.cost != pb.cost) return pa.cost < pb.cost;
+                      if (pa.latency != pb.latency) {
+                        return pa.latency < pb.latency;
+                      }
+                      if (pa.quality != pb.quality) {
+                        return pa.quality > pb.quality;
+                      }
+                      return a < b;
+                    });
   covered.resize(static_cast<size_t>(k));
   return covered;
 }
@@ -244,14 +274,18 @@ Result<AdparResult> AdparExact(const AvailabilitySnapshot& snapshot,
   // sweep may skip it. The per-k filtered orderings are computed once and
   // cached on the snapshot; null means pruning is a no-op for this k.
   const auto pruned = snapshot.PrunedFor(k);
-  const std::vector<size_t>& by_cost =
-      pruned != nullptr ? pruned->by_cost : orderings.by_cost;
-  const std::vector<size_t>& by_quality_desc =
-      pruned != nullptr ? pruned->by_quality_desc
-                        : orderings.by_quality_desc;
+  const std::vector<ParamVector>& cost_sorted =
+      pruned != nullptr ? pruned->by_cost_params : orderings.by_cost_params;
+  const std::vector<double>& quality_desc =
+      pruned != nullptr ? pruned->by_quality_desc_quality
+                        : orderings.by_quality_desc_quality;
 
-  return AdparExactOverOrderings(strategies, by_cost, by_quality_desc,
-                                 request, k);
+  // The snapshot caches the permuted value arrays, so the sweep starts
+  // without the per-call gather AdparExactOverOrderings pays.
+  const SweepBest best = SweepValues(cost_sorted, quality_desc, request,
+                                     static_cast<size_t>(k),
+                                     /*trace=*/nullptr);
+  return FinishSweep(strategies, best, k);
 }
 
 }  // namespace stratrec::core

@@ -24,6 +24,7 @@ Result<BatchResult> SolveBatchAggregated(
   BatchResult result;
   result.outcomes.resize(requests.size());
   std::vector<KnapsackItem> items;
+  items.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     STRATREC_RETURN_NOT_OK(ValidateRequest(requests[i]));
     RequestOutcome& outcome = result.outcomes[i];

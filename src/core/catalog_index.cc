@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "src/core/kernels/kernels.h"
 #include "src/core/skyline.h"
 
 namespace stratrec::core {
@@ -34,6 +35,16 @@ void BuildAdparOrderings(const std::vector<ParamVector>& params,
               return a < b;
             });
 
+  // Permuted value arrays for the sweep (see AdparOrderings).
+  out.by_cost_params.clear();
+  out.by_cost_params.reserve(n);
+  for (size_t j : out.by_cost) out.by_cost_params.push_back(params[j]);
+  out.by_quality_desc_quality.clear();
+  out.by_quality_desc_quality.reserve(n);
+  for (size_t j : out.by_quality_desc) {
+    out.by_quality_desc_quality.push_back(params[j].quality);
+  }
+
   // Skyline via a relaxation-space coordinate-sum sweep: a dominator's
   // sum is strictly smaller, and domination is transitive, so checking
   // each point against the skyline built so far is exhaustive. Both the
@@ -56,18 +67,21 @@ void BuildAdparOrderings(const std::vector<ParamVector>& params,
   });
   out.skyline.clear();
   std::vector<double> skyline_sums;  // ascending, parallel to out.skyline
+  // SoA mirror of the accepted skyline members so the membership probe and
+  // the dominator counts below run through the SIMD dominance kernels.
+  std::vector<double> sky_quality;
+  std::vector<double> sky_cost;
+  std::vector<double> sky_latency;
   for (size_t j : by_sum) {
-    bool dominated = false;
     const size_t probe = std::min(out.skyline.size(), kMaxSkylineProbe);
-    for (size_t i = 0; i < probe; ++i) {
-      if (Dominates(params[out.skyline[i]], params[j])) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) {
+    const kernels::PointSoA sky{sky_quality.data(), sky_cost.data(),
+                                sky_latency.data()};
+    if (!kernels::AnyDominates(sky, probe, params[j])) {
       out.skyline.push_back(j);
       skyline_sums.push_back(relax_sum(j));
+      sky_quality.push_back(params[j].quality);
+      sky_cost.push_back(params[j].cost);
+      sky_latency.push_back(params[j].latency);
     }
   }
 
@@ -78,16 +92,13 @@ void BuildAdparOrderings(const std::vector<ParamVector>& params,
   // whose sum reaches the probed point's.
   out.skyline_dominators.assign(n, 0);
   const size_t probe_limit = std::min(out.skyline.size(), kMaxSkylineProbe);
+  const kernels::PointSoA sky{sky_quality.data(), sky_cost.data(),
+                              sky_latency.data()};
   for (size_t j = 0; j < n; ++j) {
-    const double sum_j = relax_sum(j);
-    uint16_t count = 0;
-    for (size_t i = 0; i < probe_limit; ++i) {
-      if (skyline_sums[i] >= sum_j) break;
-      if (Dominates(params[out.skyline[i]], params[j])) {
-        if (++count >= kSkylineDominatorCap) break;
-      }
-    }
-    out.skyline_dominators[j] = count;
+    out.skyline_dominators[j] = static_cast<uint16_t>(
+        kernels::CountDominatorsBounded(sky, skyline_sums.data(), probe_limit,
+                                        relax_sum(j), kSkylineDominatorCap,
+                                        params[j]));
   }
 }
 
@@ -131,6 +142,14 @@ std::shared_ptr<const PrunedOrderings> AvailabilitySnapshot::PrunedFor(
     for (size_t j : full.by_quality_desc) {
       if (keep(j)) built->by_quality_desc.push_back(j);
     }
+    built->by_cost_params.reserve(built->by_cost.size());
+    for (size_t j : built->by_cost) {
+      built->by_cost_params.push_back(params_[j]);
+    }
+    built->by_quality_desc_quality.reserve(built->by_quality_desc.size());
+    for (size_t j : built->by_quality_desc) {
+      built->by_quality_desc_quality.push_back(params_[j].quality);
+    }
   }
   std::lock_guard<std::mutex> lock(pruned_mutex_);
   return pruned_.emplace(k, std::move(built)).first->second;
@@ -171,19 +190,12 @@ CatalogIndex CatalogIndex::Build(const std::vector<StrategyProfile>& profiles,
 void CatalogIndex::EstimateParamsInto(double w, std::vector<ParamVector>* out,
                                       Executor* executor, size_t grain) const {
   out->resize(size_);
-  const double* qa = alpha_[0].data();
-  const double* qb = beta_[0].data();
-  const double* ca = alpha_[1].data();
-  const double* cb = beta_[1].data();
-  const double* la = alpha_[2].data();
-  const double* lb = beta_[2].data();
+  const kernels::CoeffSoA soa{alpha_[0].data(), beta_[0].data(),
+                              alpha_[1].data(), beta_[1].data(),
+                              alpha_[2].data(), beta_[2].data()};
   ParamVector* dst = out->data();
   auto fill = [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      dst[j] = ParamVector{ClampUnit(qa[j] * w + qb[j]),
-                           ClampUnit(ca[j] * w + cb[j]),
-                           ClampUnit(la[j] * w + lb[j])};
-    }
+    kernels::EstimateParams(soa, w, begin, end, dst);
   };
   if (executor != nullptr) {
     executor->ParallelFor(size_, grain, fill);

@@ -51,6 +51,14 @@ struct AdparOrderings {
   /// Strategy indices descending by quality (ties ascending by index);
   /// quality-threshold candidates are a filtered scan of this.
   std::vector<size_t> by_quality_desc;
+  /// Permuted value copies of the two orderings (by_cost_params[i] =
+  /// params[by_cost[i]]; by_quality_desc_quality likewise). The ADPaR sweep
+  /// re-scans its ordering per quality candidate and reads only values, so
+  /// streaming these contiguous arrays replaces a cache-missing gather per
+  /// visited strategy — the values and their order are identical, keeping
+  /// the sweep bit-identical to the index-walking form.
+  std::vector<ParamVector> by_cost_params;
+  std::vector<double> by_quality_desc_quality;
   /// Indices of the relaxation-space skyline (points dominated by nobody),
   /// ascending by coordinate sum. On adversarial catalogs whose true
   /// skyline is huge, the build probes a bounded prefix per point and may
@@ -86,6 +94,9 @@ void BuildAdparOrderings(const std::vector<ParamVector>& params,
 struct PrunedOrderings {
   std::vector<size_t> by_cost;
   std::vector<size_t> by_quality_desc;
+  /// Permuted value copies, as on AdparOrderings.
+  std::vector<ParamVector> by_cost_params;
+  std::vector<double> by_quality_desc_quality;
 };
 
 /// Immutable per-availability derived state. Obtained from

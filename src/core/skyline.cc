@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/kernels/kernels.h"
+
 namespace stratrec::core {
 
 bool Dominates(const ParamVector& p, const ParamVector& q) {
@@ -25,12 +27,21 @@ std::vector<int> DominanceCounts(const std::vector<ParamVector>& strategies) {
   };
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return relax_sum(a) < relax_sum(b); });
+  // Permuted SoA copy of the sorted prefix so the quadratic inner loop runs
+  // through the dispatched dominance kernel (4 candidates per AVX2 step).
+  std::vector<double> quality(n);
+  std::vector<double> cost(n);
+  std::vector<double> latency(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ParamVector& s = strategies[order[i]];
+    quality[i] = s.quality;
+    cost[i] = s.cost;
+    latency[i] = s.latency;
+  }
+  const kernels::PointSoA pts{quality.data(), cost.data(), latency.data()};
   for (size_t a = 0; a < n; ++a) {
-    for (size_t b = 0; b < a; ++b) {
-      if (Dominates(strategies[order[b]], strategies[order[a]])) {
-        ++counts[order[a]];
-      }
-    }
+    counts[order[a]] = static_cast<int>(
+        kernels::CountDominators(pts, a, strategies[order[a]]));
     // Equal-sum points can still dominate only when identical-sum but
     // unequal coordinates — impossible: domination with equal sums requires
     // equality on all axes, which is not domination. So b < a suffices.

@@ -5,6 +5,7 @@
 
 #include "src/common/float_compare.h"
 #include "src/core/catalog_index.h"
+#include "src/core/kernels/kernels.h"
 
 namespace stratrec::core {
 namespace {
@@ -63,10 +64,17 @@ WorkforceCell ComputeWorkforceCell(const StrategyProfile& profile,
   WorkforceCell cell;
   if (!quality.feasible || !cost.feasible || !latency.feasible) return cell;
 
-  // Intersect the three half-lines with the physical range [0, 1].
-  const double lo =
-      std::max({quality.lo, cost.lo, latency.lo, 0.0});
-  const double hi = std::min({quality.hi, cost.hi, latency.hi, 1.0});
+  // Intersect the three half-lines with the physical range [0, 1]. Explicit
+  // comparison chains (not std::max({...})) pin the comparison order, so the
+  // SIMD kernels can replicate the fold compare-for-compare.
+  double lo = quality.lo;
+  if (lo < cost.lo) lo = cost.lo;
+  if (lo < latency.lo) lo = latency.lo;
+  if (lo < 0.0) lo = 0.0;
+  double hi = quality.hi;
+  if (cost.hi < hi) hi = cost.hi;
+  if (latency.hi < hi) hi = latency.hi;
+  if (1.0 < hi) hi = 1.0;
   if (!ApproxLe(lo, hi)) return cell;
 
   cell.feasible = true;
@@ -80,7 +88,9 @@ WorkforceCell ComputeWorkforceCell(const StrategyProfile& profile,
       // applies.
       double candidate = -kInf;
       for (const ConstraintInterval* c : {&quality, &cost, &latency}) {
-        if (c->has_equality) candidate = std::max(candidate, c->equality);
+        if (c->has_equality && candidate < c->equality) {
+          candidate = c->equality;
+        }
       }
       cell.requirement =
           candidate == -kInf ? lo : Clamp(candidate, lo, hi);
@@ -96,10 +106,20 @@ WorkforceMatrix WorkforceMatrix::Compute(
     Executor* executor, size_t grain) {
   WorkforceMatrix matrix(requests.size(), profiles.size());
   const size_t cols = matrix.cols_;
+  // Row-major fill with the per-request thresholds hoisted out of the inner
+  // loop (loop-invariant per row). An executor partition may start or end
+  // mid-row, so each chunk walks row segments.
   auto fill = [&](size_t begin, size_t end) {
-    for (size_t cell = begin; cell < end; ++cell) {
-      matrix.cells_[cell] = ComputeWorkforceCell(
-          profiles[cell % cols], requests[cell / cols].thresholds, policy);
+    while (begin < end) {
+      const size_t row = begin / cols;
+      const size_t row_end = std::min(end, (row + 1) * cols);
+      const ParamVector& thresholds = requests[row].thresholds;
+      for (size_t cell = begin, j = begin - row * cols; cell < row_end;
+           ++cell, ++j) {
+        matrix.cells_[cell] = ComputeWorkforceCell(profiles[j], thresholds,
+                                                   policy);
+      }
+      begin = row_end;
     }
   };
   const size_t total = matrix.rows_ * cols;
@@ -116,19 +136,24 @@ WorkforceMatrix WorkforceMatrix::Compute(
     WorkforcePolicy policy, Executor* executor, size_t grain) {
   WorkforceMatrix matrix(requests.size(), index.size());
   const size_t cols = matrix.cols_;
-  const double* qa = index.alphas(ParamAxis::kQuality).data();
-  const double* qb = index.betas(ParamAxis::kQuality).data();
-  const double* ca = index.alphas(ParamAxis::kCost).data();
-  const double* cb = index.betas(ParamAxis::kCost).data();
-  const double* la = index.alphas(ParamAxis::kLatency).data();
-  const double* lb = index.betas(ParamAxis::kLatency).data();
+  const kernels::CoeffSoA soa{index.alphas(ParamAxis::kQuality).data(),
+                              index.betas(ParamAxis::kQuality).data(),
+                              index.alphas(ParamAxis::kCost).data(),
+                              index.betas(ParamAxis::kCost).data(),
+                              index.alphas(ParamAxis::kLatency).data(),
+                              index.betas(ParamAxis::kLatency).data()};
+  // Row-major fill through the dispatched kernel, thresholds hoisted per
+  // row. An executor partition may start or end mid-row, so each chunk is
+  // split into row segments before the kernel call.
   auto fill = [&](size_t begin, size_t end) {
-    for (size_t cell = begin; cell < end; ++cell) {
-      const size_t j = cell % cols;
-      const StrategyProfile profile{
-          {qa[j], qb[j]}, {ca[j], cb[j]}, {la[j], lb[j]}};
-      matrix.cells_[cell] = ComputeWorkforceCell(
-          profile, requests[cell / cols].thresholds, policy);
+    while (begin < end) {
+      const size_t row = begin / cols;
+      const size_t row_end = std::min(end, (row + 1) * cols);
+      kernels::FillWorkforceCells(soa, begin - row * cols,
+                                  row_end - row * cols,
+                                  requests[row].thresholds, policy,
+                                  matrix.cells_.data() + row * cols);
+      begin = row_end;
     }
   };
   const size_t total = matrix.rows_ * cols;

@@ -15,6 +15,7 @@
 #include "src/api/registry.h"
 #include "src/common/executor.h"
 #include "src/core/adpar.h"
+#include "src/core/kernels/kernels.h"
 
 namespace stratrec::router {
 
@@ -683,6 +684,9 @@ api::ServiceStats ShardRouter::stats() const {
     out.cache_misses += s.cache_misses;
     out.index_build_nanos += s.index_build_nanos;
   }
+  // All shards run in-process, so the router reports the process-wide level.
+  out.kernel_dispatch =
+      core::kernels::DispatchLevelName(core::kernels::ActiveDispatchLevel());
   return out;
 }
 

@@ -336,6 +336,7 @@ api::ServiceStats RandomServiceStats(Rng& rng) {
   stats.index_build_nanos = static_cast<size_t>(rng.UniformInt(0, 1 << 30));
   stats.rejected_requests = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.retry_after_hints = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.kernel_dispatch = rng.Bernoulli(0.5) ? "avx2" : "scalar";
   return stats;
 }
 
@@ -480,6 +481,7 @@ TEST(Codec, FieldNamesAreStable) {
   stats.index_build_nanos = 13;
   stats.rejected_requests = 14;
   stats.retry_after_hints = 15;
+  stats.kernel_dispatch = "avx2";
   EXPECT_EQ(json::Dump(Encode(stats)),
             "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
             "\"stream_events\":4,\"stream_reschedules\":16,"
@@ -488,7 +490,7 @@ TEST(Codec, FieldNamesAreStable) {
             "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
             "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
             "\"index_build_nanos\":13,\"rejected_requests\":14,"
-            "\"retry_after_hints\":15}");
+            "\"retry_after_hints\":15,\"kernel_dispatch\":\"avx2\"}");
 }
 
 TEST(Codec, StatsRecordDecodesIntoTheTrace) {
