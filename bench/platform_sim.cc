@@ -1,0 +1,289 @@
+// Macro-benchmark and determinism fuzz of the platform simulator: sweep
+// every builtin scenario across seeds and worker-pool sizes, replay each
+// cell's recorded journal at that cell's pool size, and hold the simulator
+// to its contract —
+//
+//   * the schedule digest of one (scenario, seed) is identical at every
+//     pool size (the event loop never leaks pool scheduling into its
+//     decisions),
+//   * the journal fingerprint (records minus the config/stats lines) of a
+//     deterministic_journal scenario is identical at every pool size, and
+//   * every recorded journal replays with byte-identical reports
+//     (wire::ReplayTrace), whatever pool recorded it.
+//
+// Any violation exits non-zero — this is the schedule-space analogue of the
+// replay smoke, run as a matrix instead of a point check. Results land in
+// platform_sim.json (the checked-in copy is the dev-box scoreboard).
+//
+// Usage: bench_platform_sim [ticks] [strategies] [seeds] [pools] [out.json]
+//   ticks       virtual horizon per run          (default 120)
+//   strategies  catalog size per tenant          (default 1500)
+//   seeds       comma-separated root seeds       (default 101,202,303)
+//   pools       comma-separated worker pools     (default 1,2,4,8)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/codec.h"
+#include "src/api/replay.h"
+#include "src/core/kernels/kernels.h"
+#include "src/sim/engine.h"
+#include "src/sim/scenario.h"
+#include "src/sim/simulator.h"
+
+namespace sim = stratrec::sim;
+namespace wire = stratrec::wire;
+namespace kernels = stratrec::core::kernels;
+
+namespace {
+
+std::vector<size_t> ParseList(const char* text) {
+  std::vector<size_t> values;
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) values.push_back(std::stoul(token));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return values;
+}
+
+struct Cell {
+  size_t seed = 0;
+  size_t pool = 0;
+  sim::SimReport report;
+  uint64_t fingerprint = 0;  ///< tenant-0 journal
+  wire::ReplayResult replay;  ///< folded across tenant journals
+};
+
+struct ScenarioRow {
+  sim::ScenarioConfig scenario;
+  std::vector<Cell> cells;
+};
+
+/// Replays every tenant journal of `report` at `pool` threads; returns
+/// false (after printing why) on any byte mismatch.
+bool ReplayCell(const sim::SimReport& report, size_t pool,
+                wire::ReplayResult* folded) {
+  for (const std::string& path : report.journals) {
+    auto trace = wire::ReadTraceFile(path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "  trace read failed (%s): %s\n", path.c_str(),
+                   trace.status().ToString().c_str());
+      return false;
+    }
+    wire::ReplayOptions options;
+    options.worker_threads = pool;
+    auto result = wire::ReplayTrace(*trace, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "  replay failed (%s): %s\n", path.c_str(),
+                   result.status().ToString().c_str());
+      return false;
+    }
+    if (!result->ok()) {
+      std::fprintf(stderr, "  REPLAY MISMATCH (%s): %zu of %zu pairs\n",
+                   path.c_str(), result->replayed - result->matched,
+                   result->replayed);
+      return false;
+    }
+    folded->replayed += result->replayed;
+    folded->matched += result->matched;
+    folded->skipped += result->skipped;
+    folded->stream_sessions += result->stream_sessions;
+    folded->stream_events_replayed += result->stream_events_replayed;
+    folded->stream_matched += result->stream_matched;
+  }
+  return true;
+}
+
+std::string Json(const std::vector<ScenarioRow>& rows, double ticks,
+                 size_t strategies, const std::vector<size_t>& seeds,
+                 const std::vector<size_t>& pools) {
+  const auto list = [](const std::vector<size_t>& values) {
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + std::to_string(values[i]);
+    }
+    return out + "]";
+  };
+  std::string json = "{\n  \"benchmark\": \"platform_sim\",\n";
+  json += "  \"workload\": {\"ticks\": " + std::to_string(ticks) +
+          ", \"strategies\": " + std::to_string(strategies) +
+          ", \"seeds\": " + list(seeds) + ", \"pools\": " + list(pools) +
+          ",\n    \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) +
+          ", \"kernel_dispatch\": \"" +
+          kernels::DispatchLevelName(kernels::ActiveDispatchLevel()) +
+          "\", \"compiler_flags\": \"" + kernels::CompileFlags() + "\"},\n";
+  json += "  \"scenarios\": [";
+  for (size_t s = 0; s < rows.size(); ++s) {
+    const ScenarioRow& row = rows[s];
+    json += (s == 0 ? "\n" : ",\n");
+    json += "    {\"name\": \"" + row.scenario.name + "\", \"stream_mode\": " +
+            (row.scenario.stream_mode ? "true" : "false") +
+            ", \"tenants\": " + std::to_string(row.scenario.tenants) +
+            ", \"deterministic_journal\": " +
+            (row.scenario.deterministic_journal ? "true" : "false") +
+            ",\n     \"cells\": [";
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      const Cell& cell = row.cells[c];
+      const sim::SimReport& r = cell.report;
+      json += (c == 0 ? "\n" : ",\n");
+      json += "      {\"seed\": " + std::to_string(cell.seed) +
+              ", \"pool\": " + std::to_string(cell.pool) + ", \"digest\": \"" +
+              sim::ScheduleDigest::Hex(r.schedule_digest) +
+              "\", \"fingerprint\": \"" +
+              sim::ScheduleDigest::Hex(cell.fingerprint) +
+              "\",\n       \"batches\": " + std::to_string(r.batches_submitted) +
+              ", \"requests\": " + std::to_string(r.requests_submitted) +
+              ", \"satisfied\": " + std::to_string(r.requests_satisfied) +
+              ", \"alternatives\": " + std::to_string(r.alternatives_served) +
+              ", \"dropped\": " + std::to_string(r.dropped_batches) +
+              ", \"cancel_attempts\": " + std::to_string(r.cancel_attempts) +
+              ", \"cancelled\": " + std::to_string(r.cancelled_batches) +
+              ",\n       \"stream_arrivals\": " +
+              std::to_string(r.stream.arrivals) + ", \"stream_admitted\": " +
+              std::to_string(r.stream.admitted) + ", \"stream_revoked\": " +
+              std::to_string(r.stream.revoked) +
+              ", \"availability_changes\": " +
+              std::to_string(r.availability_changes) +
+              ",\n       \"latency_p50\": " + std::to_string(r.latency.p50) +
+              ", \"latency_p95\": " + std::to_string(r.latency.p95) +
+              ", \"latency_p99\": " + std::to_string(r.latency.p99) +
+              ", \"events\": " + std::to_string(r.events_fired) +
+              ",\n       \"replayed_pairs\": " +
+              std::to_string(cell.replay.replayed) +
+              ", \"replayed_stream_events\": " +
+              std::to_string(cell.replay.stream_events_replayed) +
+              ", \"wall_seconds\": " + std::to_string(r.wall_seconds) + "}";
+    }
+    json += "\n     ]}";
+  }
+  json += "\n  ]\n}\n";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double ticks = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const size_t strategies =
+      argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 1500;
+  const std::vector<size_t> seeds = ParseList(argc > 3 ? argv[3] : "101,202,303");
+  const std::vector<size_t> pools = ParseList(argc > 4 ? argv[4] : "1,2,4,8");
+  const char* out_path = argc > 5 ? argv[5] : "platform_sim.json";
+  if (ticks <= 0.0 || strategies == 0 || seeds.empty() || pools.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [ticks] [strategies] [seeds] [pools] [out.json]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::printf(
+      "platform sim sweep: %zu scenarios x %zu seeds x %zu pools, %g ticks, "
+      "%zu strategies\n",
+      sim::BuiltinScenarios().size(), seeds.size(), pools.size(), ticks,
+      strategies);
+
+  std::vector<ScenarioRow> rows;
+  bool failed = false;
+  for (sim::ScenarioConfig& scenario : sim::BuiltinScenarios()) {
+    sim::ScaleScenario(&scenario, ticks, strategies);
+    ScenarioRow row;
+    row.scenario = scenario;
+    for (size_t seed : seeds) {
+      // Per-(scenario, seed) invariants, collected across the pool axis.
+      uint64_t digest = 0;
+      uint64_t fingerprint = 0;
+      bool first_pool = true;
+      for (size_t pool : pools) {
+        Cell cell;
+        cell.seed = seed;
+        cell.pool = pool;
+        sim::RunOptions options;
+        options.seed = seed;
+        options.worker_threads = pool;
+        options.journal_path = "platform_sim_" + scenario.name + "_" +
+                               std::to_string(seed) + "_p" +
+                               std::to_string(pool) + ".journal";
+        auto report = sim::RunScenario(scenario, options);
+        if (!report.ok()) {
+          std::fprintf(stderr, "%s seed %zu pool %zu failed: %s\n",
+                       scenario.name.c_str(), seed, pool,
+                       report.status().ToString().c_str());
+          return 1;
+        }
+        cell.report = std::move(*report);
+        if (!ReplayCell(cell.report, pool, &cell.replay)) failed = true;
+        auto print = sim::JournalFingerprint(cell.report.journals.front());
+        if (!print.ok()) {
+          std::fprintf(stderr, "  fingerprint failed: %s\n",
+                       print.status().ToString().c_str());
+          return 1;
+        }
+        cell.fingerprint = *print;
+
+        if (first_pool) {
+          digest = cell.report.schedule_digest;
+          fingerprint = cell.fingerprint;
+          first_pool = false;
+        } else {
+          if (cell.report.schedule_digest != digest) {
+            std::fprintf(stderr,
+                         "  DIGEST MISMATCH: %s seed %zu pool %zu: %s != %s\n",
+                         scenario.name.c_str(), seed, pool,
+                         sim::ScheduleDigest::Hex(cell.report.schedule_digest)
+                             .c_str(),
+                         sim::ScheduleDigest::Hex(digest).c_str());
+            failed = true;
+          }
+          if (scenario.deterministic_journal &&
+              cell.fingerprint != fingerprint) {
+            std::fprintf(
+                stderr,
+                "  JOURNAL FINGERPRINT MISMATCH: %s seed %zu pool %zu\n",
+                scenario.name.c_str(), seed, pool);
+            failed = true;
+          }
+        }
+        for (const std::string& path : cell.report.journals) {
+          std::remove(path.c_str());
+        }
+        std::printf(
+            "  %-16s seed %-4zu pool %zu: %5zu batches, %6zu requests, "
+            "digest %s, replay %zu/%zu ok (%.2fs)\n",
+            scenario.name.c_str(), seed, pool,
+            cell.report.batches_submitted + cell.report.stream.arrivals,
+            cell.report.requests_submitted + cell.report.stream.arrivals,
+            sim::ScheduleDigest::Hex(cell.report.schedule_digest).c_str(),
+            cell.replay.matched + cell.replay.stream_matched,
+            cell.replay.replayed + cell.replay.stream_events_replayed,
+            cell.report.wall_seconds);
+        row.cells.push_back(std::move(cell));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (failed) {
+    std::fprintf(stderr, "platform sim sweep FAILED\n");
+    return 1;
+  }
+
+  const std::string json = Json(rows, ticks, strategies, seeds, pools);
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("sweep ok (written to %s)\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

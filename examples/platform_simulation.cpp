@@ -1,28 +1,29 @@
 // Platform simulation: the full Figure 1 loop on the simulated AMT
 // platform — estimate worker availability from historical deployment
-// traces, fit strategy parameter models from observed deployments, stand up
-// a stratrec::Service over the fitted catalog, then drive it the way a real
-// deployment would: several requester fronts submit their batches
-// *concurrently* through the asynchronous ticket API, completion callbacks
-// record the order the worker pool finishes them, and the early-week batch
-// is unpacked in detail (recommendations plus ADPaR alternatives).
+// traces, fit strategy parameter models from observed deployments, then
+// hand the fitted catalog to the discrete-event platform simulator
+// (src/sim/): seeded scenarios drive a stratrec::Service through Poisson
+// and bursty arrival waves and a diurnal availability cycle, every run
+// records a replayable journal, and the same (scenario, seed) reproduces
+// the same decision schedule bit for bit at any worker-pool size.
 //
 // Run: ./build/examples/example_platform_simulation
-#include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/service.h"
 #include "src/common/ascii_table.h"
 #include "src/platform/amt.h"
+#include "src/sim/engine.h"
+#include "src/sim/scenario.h"
+#include "src/sim/simulator.h"
 
 using stratrec::AsciiTable;
 using stratrec::FormatDouble;
-namespace api = stratrec::api;
 namespace core = stratrec::core;
 namespace platform = stratrec::platform;
+namespace sim = stratrec::sim;
 
 int main() {
   const auto task_type = platform::TaskType::kSentenceTranslation;
@@ -48,195 +49,99 @@ int main() {
   }
   std::printf(
       "Estimated availability PMF for the early-week window: %zu atoms, "
-      "E[W] = %.3f\n\n",
+      "E[W] = %.3f\n",
       availability->pmf().atoms().size(),
       availability->ExpectedAvailability());
 
   // --- Strategy catalog: all 8 single-stage strategies with models fitted
-  // from simulated historical deployments, fronted by one Service whose
-  // worker pool serves every requester below.
+  // from simulated historical deployments.
   auto catalog = amt.BuildCatalog(task_type);
   if (!catalog.ok()) {
     std::fprintf(stderr, "model fitting failed: %s\n",
                  catalog.status().ToString().c_str());
     return 1;
   }
-  api::ServiceConfig config;
-  config.batch.objective = core::Objective::kPayoff;
-  config.batch.aggregation = core::AggregationMode::kMax;
-  config.execution.worker_threads = 4;
-  // Record this session: the journal carries the config, the fitted
-  // catalog, and every (request, report) pair, so bench_replay_load can
-  // rebuild the service and reproduce the reports bit for bit.
-  config.journal.path = "platform_simulation.journal";
-  auto service = stratrec::Service::Create(std::move(*catalog), config);
-  if (!service.ok()) {
-    std::fprintf(stderr, "service setup failed: %s\n",
-                 service.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Fitted linear models for %zu strategies; service pool: %zu "
-              "worker threads.\n\n",
-              service->strategies().size(), service->worker_threads());
+  std::printf("Fitted linear models for %zu strategies.\n\n",
+              catalog->strategies.size());
 
-  // --- Register the estimated window model; batches refer to it by name.
-  if (auto st = service->RegisterAvailabilityModel("early-week",
-                                                   std::move(*availability));
-      !st.ok()) {
-    std::fprintf(stderr, "model registration failed: %s\n",
-                 st.ToString().c_str());
-    return 1;
-  }
+  // --- Drive the fitted catalog through three simulator scenarios: steady
+  // Poisson arrivals, burst/drain waves, and a diurnal availability cycle
+  // with virtual-time-stamped stats checkpoints. The diurnal run (last)
+  // records the journal the CI replay smoke reproduces bit for bit.
+  const char* kJournalPath = "platform_simulation.journal";
+  const std::vector<std::string> names = {"poisson", "bursty", "diurnal"};
+  AsciiTable sweep({"scenario", "batches", "requests", "satisfied",
+                    "alternatives", "W changes", "p95 latency", "digest"});
+  sim::SimReport journaled;
+  for (const std::string& name : names) {
+    auto scenario = sim::FindScenario(name);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "unknown scenario: %s\n",
+                   scenario.status().ToString().c_str());
+      return 1;
+    }
+    // A short horizon keeps the example quick; the full-length sweep lives
+    // in bench_platform_sim.
+    sim::ScaleScenario(&*scenario, /*ticks=*/48.0, scenario->strategies);
 
-  // --- Three requester fronts, each with its own batch and its own view of
-  // worker availability, submitting concurrently against one service.
-  struct Front {
-    const char* label;
-    api::BatchRequest batch;
-  };
-  std::vector<Front> fronts(3);
-  fronts[0].label = "early-week";
-  fronts[0].batch.requests = {
-      {"newsroom",  {0.75, 0.60, 0.70}, 2},  // high quality, moderate budget
-      {"hobbyist",  {0.60, 0.30, 0.90}, 1},  // cheap and relaxed
-      {"archive",   {0.70, 0.80, 0.50}, 3},  // fast turnaround
-      {"perfection",{0.97, 0.15, 0.20}, 2},  // unrealistic -> ADPaR
-  };
-  fronts[0].batch.availability = api::AvailabilitySpec::Named("early-week");
-  fronts[1].label = "weekend-lull";
-  fronts[1].batch.requests = {
-      {"newsletter", {0.65, 0.50, 0.80}, 2},
-      {"caption-qa", {0.80, 0.70, 0.60}, 2},
-  };
-  fronts[1].batch.availability = api::AvailabilitySpec::Fixed(0.45);
-  fronts[2].label = "prime-time";
-  fronts[2].batch.requests = {
-      {"docs-sprint", {0.72, 0.65, 0.55}, 3},
-      {"forum-triage",{0.55, 0.25, 0.95}, 1},
-      {"press-kit",   {0.85, 0.75, 0.40}, 2},
-  };
-  fronts[2].batch.availability = api::AvailabilitySpec::Fixed(0.85);
-
-  // Submit every front without waiting; callbacks record completion order.
-  std::mutex order_mutex;
-  std::vector<std::string> completion_order;
-  std::vector<stratrec::Ticket<api::BatchReport>> tickets;
-  tickets.reserve(fronts.size());
-  for (Front& front : fronts) {
-    tickets.push_back(service->SubmitBatchAsync(front.batch));
-    const char* label = front.label;
-    (void)tickets.back().OnComplete(
-        [label, &order_mutex, &completion_order](
-            const stratrec::Result<api::BatchReport>& report) {
-          std::lock_guard<std::mutex> lock(order_mutex);
-          completion_order.push_back(std::string(label) +
-                                     (report.ok() ? "" : " (failed)"));
-        });
-    std::printf("submitted %-12s as ticket %s\n", front.label,
-                tickets.back().id().c_str());
-  }
-
-  // Gather the reports (submission order keeps the output stable; the pool
-  // may well have finished them in another order — see the callback log).
-  std::vector<api::BatchReport> reports;
-  for (size_t i = 0; i < tickets.size(); ++i) {
-    auto report = tickets[i].Wait();
+    sim::RunOptions run;
+    run.seed = 20260610;
+    run.worker_threads = 4;
+    run.catalog = *catalog;  // tenant 0 serves the AMT-fitted catalog
+    if (name == "diurnal") run.journal_path = kJournalPath;
+    auto report = sim::RunScenario(*scenario, run);
     if (!report.ok()) {
-      std::fprintf(stderr, "%s batch failed: %s\n", fronts[i].label,
+      std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(),
                    report.status().ToString().c_str());
       return 1;
     }
-    reports.push_back(std::move(*report));
+    sweep.AddRow({report->scenario, std::to_string(report->batches_submitted),
+                  std::to_string(report->requests_submitted),
+                  std::to_string(report->requests_satisfied),
+                  std::to_string(report->alternatives_served),
+                  std::to_string(report->availability_changes),
+                  FormatDouble(report->latency.p95, 2) + " ticks",
+                  sim::ScheduleDigest::Hex(report->schedule_digest)});
+    if (name == "diurnal") journaled = std::move(*report);
   }
-  {
-    std::lock_guard<std::mutex> lock(order_mutex);
-    std::string joined;
-    for (const std::string& label : completion_order) {
-      if (!joined.empty()) joined += ", ";
-      joined += label;
-    }
-    std::printf("pool completion order: %s\n\n", joined.c_str());
-  }
+  sweep.Print();
 
-  AsciiTable summary(
-      {"front", "ticket", "W", "served", "alternatives"});
-  for (size_t i = 0; i < reports.size(); ++i) {
-    const core::BatchResult& batch = reports[i].result.aggregator.batch;
-    summary.AddRow({fronts[i].label, reports[i].request_id,
-                    FormatDouble(reports[i].availability, 3),
-                    std::to_string(batch.satisfied.size()) + "/" +
-                        std::to_string(batch.outcomes.size()),
-                    std::to_string(reports[i].result.alternatives.size())});
+  // --- The determinism contract, demonstrated: the same (scenario, seed)
+  // at a *different* pool size must reproduce the same decision schedule.
+  auto scenario = sim::FindScenario("diurnal");
+  sim::ScaleScenario(&*scenario, 48.0, scenario->strategies);
+  sim::RunOptions rerun;
+  rerun.seed = 20260610;
+  rerun.worker_threads = 1;
+  rerun.catalog = *catalog;
+  auto replayed = sim::RunScenario(*scenario, rerun);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "rerun failed: %s\n",
+                 replayed.status().ToString().c_str());
+    return 1;
   }
-  summary.Print();
-
-  // --- The early-week batch in detail.
-  const api::BatchReport& report = reports.front();
-  const std::vector<core::DeploymentRequest>& requests =
-      fronts.front().batch.requests;
-  std::printf("\nBatch %s outcomes at W = %.3f (pay-off objective):\n",
-              report.request_id.c_str(), report.availability);
-  AsciiTable outcomes({"request", "served", "strategies", "workforce"});
-  const auto& strategies = service->strategies();
-  for (const auto& outcome : report.result.aggregator.batch.outcomes) {
-    std::string names;
-    for (size_t j : outcome.strategies) {
-      if (!names.empty()) names += ",";
-      names += strategies[j].Describe();
-    }
-    outcomes.AddRow({requests[outcome.request_index].id,
-                     outcome.satisfied ? "yes" : "no",
-                     names.empty() ? "-" : names,
-                     FormatDouble(outcome.workforce, 3)});
+  if (replayed->schedule_digest != journaled.schedule_digest) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: pool 1 digest %s != pool 4 digest "
+                 "%s\n",
+                 sim::ScheduleDigest::Hex(replayed->schedule_digest).c_str(),
+                 sim::ScheduleDigest::Hex(journaled.schedule_digest).c_str());
+    return 1;
   }
-  outcomes.Print();
-
-  std::printf("\nADPaR alternatives:\n");
-  AsciiTable alternatives({"request", "alternative d'", "distance"});
-  for (const auto& alt : report.result.alternatives) {
-    alternatives.AddRow({requests[alt.request_index].id,
-                         alt.result.alternative.ToString(),
-                         FormatDouble(alt.result.distance, 4)});
-  }
-  if (report.result.alternatives.empty()) {
-    alternatives.AddRow({"-", "-", "-"});
-  }
-  alternatives.Print();
   std::printf(
-      "(a distance of 0 means the request was capacity-blocked, not "
-      "infeasible:\n resubmitting the same parameters in a later batch can "
-      "succeed)\n");
+      "\nDeterminism: pool 1 and pool 4 runs of (diurnal, seed 20260610) "
+      "agree on schedule digest %s.\n",
+      sim::ScheduleDigest::Hex(journaled.schedule_digest).c_str());
 
-  // --- Deploy the first served request for real and report the outcome.
-  for (const auto& outcome : report.result.aggregator.batch.outcomes) {
-    if (!outcome.satisfied || outcome.strategies.empty()) continue;
-    const auto& strategy = strategies[outcome.strategies.front()];
-    std::printf("\nDeploying '%s' with %s ...\n",
-                requests[outcome.request_index].id.c_str(),
-                strategy.Describe().c_str());
-    platform::ExecutionSimulator executor(&amt.pool(),
-                                          platform::ExecutionOptions{}, 7);
-    const auto hit = platform::MakeHit("deploy", task_type,
-                                       platform::SampleTasks(task_type));
-    const auto deployed = executor.ExecuteAtAvailability(
-        hit, strategy.stages().front(),
-        report.availability, /*guided=*/true);
-    std::printf(
-        "observed quality %.2f, cost %.2f, latency %.2f (%d edits, %d "
-        "conflicts)\n",
-        deployed.observed.quality, deployed.observed.cost,
-        deployed.observed.latency, deployed.num_edits, deployed.num_conflicts);
-    break;
-  }
-
-  const api::ServiceStats stats = service->stats();
-  std::printf("\nService lifetime: %zu batches, %zu requests processed "
-              "(executor: %zu queued, %zu active).\n",
-              stats.batches, stats.requests_processed, stats.queue_depth,
-              stats.active_workers);
+  const stratrec::api::ServiceStats& stats = journaled.service_stats;
+  std::printf(
+      "Journaled run: %zu batches, %zu requests processed, %zu events "
+      "fired over %.0f virtual ticks (cache: %zu hits / %zu misses).\n",
+      stats.batches, stats.requests_processed, journaled.events_fired,
+      journaled.virtual_duration, stats.cache_hits, stats.cache_misses);
   std::printf(
       "Trace recorded to %s — replay it with:\n"
       "  ./build/bench/bench_replay_load %s\n",
-      config.journal.path.c_str(), config.journal.path.c_str());
+      kJournalPath, kJournalPath);
   return 0;
 }

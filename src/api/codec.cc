@@ -1276,6 +1276,15 @@ std::string EncodeStatsRecord(const api::ServiceStats& stats) {
   return json::Dump(record);
 }
 
+std::string EncodeStatsRecord(const api::ServiceStats& stats,
+                              double sim_time) {
+  Value record = Value::Object();
+  record.Add("kind", kKindStats);
+  record.Add("sim_time", sim_time);
+  record.Add("stats", Encode(stats));
+  return json::Dump(record);
+}
+
 std::string EncodeStreamOpenRecord(const StreamOpenRecord& open) {
   Value record = Value::Object();
   record.Add("kind", kKindStreamOpen);
@@ -1365,7 +1374,14 @@ Result<JournalTrace> DecodeTrace(const std::vector<std::string>& records) {
       if (stats == nullptr) return MissingField("stats");
       auto decoded = DecodeServiceStats(*stats);
       if (!decoded.ok()) return decoded.status();
-      trace.stats.push_back(std::move(*decoded));
+      StatsRecord checkpoint;
+      checkpoint.stats = std::move(*decoded);
+      if (parsed->Find("sim_time") != nullptr) {
+        STRATREC_RETURN_NOT_OK(
+            GetDouble(*parsed, "sim_time", &checkpoint.sim_time));
+        checkpoint.has_sim_time = true;
+      }
+      trace.stats.push_back(std::move(checkpoint));
     } else if (kind == kKindStreamOpen) {
       StreamOpenRecord open;
       STRATREC_RETURN_NOT_OK(GetString(*parsed, "session_id",

@@ -141,9 +141,24 @@ std::string EncodeSweepRecord(const std::string& request_id,
 /// steal/local-hit counters), so a trace can carry saturation checkpoints
 /// alongside its pairs.
 std::string EncodeStatsRecord(const api::ServiceStats& stats);
+/// Stats record stamped with a virtual-time instant (journal format v6) —
+/// the platform simulator's checkpoint hook: a trace then tells *when* in
+/// simulated time each saturation snapshot was taken.
+std::string EncodeStatsRecord(const api::ServiceStats& stats,
+                              double sim_time);
 /// Stream session records ({"kind":"stream-open"|"stream-event", ...}).
 std::string EncodeStreamOpenRecord(const StreamOpenRecord& open);
 std::string EncodeStreamEventRecord(const StreamEventRecord& record);
+
+/// One decoded stats checkpoint: the counters plus the optional virtual-time
+/// stamp (format v6) that simulator-driven traces carry.
+struct StatsRecord {
+  api::ServiceStats stats;
+  bool has_sim_time = false;
+  double sim_time = 0.0;
+
+  bool operator==(const StatsRecord&) const = default;
+};
 
 /// A fully decoded journal: everything replay needs to rebuild the service
 /// and its workload. Pairs keep journal (completion) order.
@@ -155,7 +170,7 @@ struct JournalTrace {
   std::vector<PairRecord> pairs;
   /// Stats checkpoints, in journal order (may be empty: taps only write
   /// them when asked — see EncodeStatsRecord).
-  std::vector<api::ServiceStats> stats;
+  std::vector<StatsRecord> stats;
   /// Stream sessions: session opens and their (event, update) pairs, each
   /// in journal order. Events of different sessions interleave here exactly
   /// as they completed; within a session, seq orders them.

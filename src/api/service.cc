@@ -742,6 +742,14 @@ Status Service::RecordStatsSnapshot() const {
   return state_->journal->Append(wire::EncodeStatsRecord(stats()));
 }
 
+Status Service::RecordStatsSnapshot(double sim_time) const {
+  if (!state_->journal) {
+    return Status::FailedPrecondition(
+        "stats snapshot requested but journaling is not configured");
+  }
+  return state_->journal->Append(wire::EncodeStatsRecord(stats(), sim_time));
+}
+
 // ---------------------------------------------------------------------------
 // StreamSession
 // ---------------------------------------------------------------------------

@@ -151,6 +151,10 @@ class Service {
   /// saturation checkpoints alongside its (request, outcome) pairs. Fails
   /// with kFailedPrecondition when journaling is not configured.
   Status RecordStatsSnapshot() const;
+  /// As above, stamping the record with a virtual-time instant (journal
+  /// format v6) — the platform simulator's checkpoint hook, so a trace
+  /// tells when in simulated time each saturation snapshot was taken.
+  Status RecordStatsSnapshot(double sim_time) const;
 
  private:
   explicit Service(std::shared_ptr<internal::ServiceState> state)

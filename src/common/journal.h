@@ -46,7 +46,10 @@ inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// the base — see JournalWriter::Options::compact_after_segments).
 /// v5: stats records carry the kernel_dispatch level ("avx2"/"scalar") of
 /// the SoA SIMD kernels.
-inline constexpr int kJournalFormatVersion = 5;
+/// v6: stats records may carry a "sim_time" virtual-time stamp — the
+/// platform simulator (src/sim/) checkpoints service saturation against its
+/// discrete-event clock via Service::RecordStatsSnapshot(sim_time).
+inline constexpr int kJournalFormatVersion = 6;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.

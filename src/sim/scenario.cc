@@ -1,0 +1,173 @@
+#include "src/sim/scenario.h"
+
+#include <algorithm>
+
+namespace stratrec::sim {
+
+namespace {
+
+ScenarioConfig Poisson() {
+  ScenarioConfig config;
+  config.name = "poisson";
+  config.summary = "steady Poisson batch arrivals at fixed availability";
+  config.arrivals.kind = ArrivalProcess::Kind::kPoisson;
+  config.arrivals.rate = 2.0;
+  config.drift.kind = DriftProcess::Kind::kNone;
+  return config;
+}
+
+ScenarioConfig Bursty() {
+  ScenarioConfig config;
+  config.name = "bursty";
+  config.summary = "burst/drain batch arrival waves at fixed availability";
+  config.arrivals.kind = ArrivalProcess::Kind::kBursty;
+  config.arrivals.burst_lo = 8;
+  config.arrivals.burst_hi = 18;
+  config.arrivals.burst_period = 4;
+  return config;
+}
+
+ScenarioConfig Diurnal() {
+  ScenarioConfig config;
+  config.name = "diurnal";
+  config.summary =
+      "Poisson arrivals under sinusoidal availability drift with "
+      "virtual-time-stamped stats checkpoints";
+  config.arrivals.rate = 2.0;
+  config.drift.kind = DriftProcess::Kind::kDiurnal;
+  config.drift.base = 0.55;
+  config.drift.amplitude = 0.2;
+  config.drift.period = 96.0;
+  config.availability_quantum = 0.02;
+  config.stats_snapshot_period = 24.0;
+  return config;
+}
+
+ScenarioConfig Brownout() {
+  ScenarioConfig config = Diurnal();
+  config.name = "brownout";
+  config.summary =
+      "diurnal drift plus fault injection: dropped tickets and a mid-run "
+      "shard slowdown window";
+  config.stats_snapshot_period = 0.0;
+  config.faults.drop_probability = 0.08;
+  // The slowdown window is resolved against the horizon when the simulator
+  // runs (a fraction would be friendlier, but keeping absolute virtual
+  // times makes the config a complete description of the run).
+  config.faults.slowdown_begin = config.ticks / 3.0;
+  config.faults.slowdown_end = 2.0 * config.ticks / 3.0;
+  config.faults.slowdown_factor = 3.0;
+  return config;
+}
+
+ScenarioConfig Churn() {
+  ScenarioConfig config;
+  config.name = "churn";
+  config.summary =
+      "stream session under worker-pool join/leave churn scaling capacity";
+  config.stream_mode = true;
+  config.arrivals.rate = 3.0;
+  config.drift.kind = DriftProcess::Kind::kRandomWalk;
+  config.drift.base = 0.6;
+  config.drift.step = 0.02;
+  config.drift.lo = 0.35;
+  config.drift.hi = 0.85;
+  config.churn.enabled = true;
+  config.churn.capacity = 200;
+  config.churn.initial = 160;
+  config.churn.join_rate = 5.0;
+  config.churn.leave_rate = 5.0;
+  config.availability_quantum = 0.02;
+  return config;
+}
+
+ScenarioConfig RevocationStorm() {
+  ScenarioConfig config;
+  config.name = "revocation-storm";
+  config.summary =
+      "stream session with periodic mass revocations of the live set";
+  config.stream_mode = true;
+  config.arrivals.rate = 3.5;
+  config.drift.kind = DriftProcess::Kind::kNone;
+  config.drift.base = 0.5;
+  config.storms.revocation_period = 10;
+  config.storms.revocation_fraction = 0.6;
+  return config;
+}
+
+ScenarioConfig CancelStorm() {
+  ScenarioConfig config;
+  config.name = "cancel-storm";
+  config.summary =
+      "async batch waves with a fraction of tickets cancelled while the "
+      "pool races to claim them";
+  config.arrivals.rate = 1.0;
+  config.storms.cancellation_period = 8;
+  config.storms.cancellation_wave = 12;
+  config.storms.cancellation_fraction = 0.5;
+  // Which tickets a Cancel() beats is scheduling-dependent by design; the
+  // journal still replays byte-identically (cancelled pairs are skipped),
+  // but its bytes are not pool-size-invariant.
+  config.deterministic_journal = false;
+  return config;
+}
+
+ScenarioConfig MultiTenant() {
+  ScenarioConfig config;
+  config.name = "multi-tenant";
+  config.summary =
+      "three tenant catalogs driven side by side from one arrival process";
+  config.tenants = 3;
+  config.strategies = 800;
+  config.arrivals.rate = 3.0;
+  return config;
+}
+
+}  // namespace
+
+std::vector<ScenarioConfig> BuiltinScenarios() {
+  return {Poisson(),  Bursty(),          Diurnal(),     Brownout(),
+          Churn(),    RevocationStorm(), CancelStorm(), MultiTenant()};
+}
+
+Result<ScenarioConfig> FindScenario(const std::string& name) {
+  for (ScenarioConfig& scenario : BuiltinScenarios()) {
+    if (scenario.name == name) return std::move(scenario);
+  }
+  return Status::NotFound("unknown scenario '" + name + "'");
+}
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  for (const ScenarioConfig& scenario : BuiltinScenarios()) {
+    names.push_back(scenario.name);
+  }
+  return names;
+}
+
+void ScaleScenario(ScenarioConfig* scenario, double ticks,
+                   size_t strategies) {
+  // Rescale the absolute-time fault window with the horizon.
+  const double old_ticks = scenario->ticks;
+  scenario->ticks = ticks;
+  scenario->strategies = strategies;
+  if (old_ticks > 0.0 && scenario->faults.slowdown_end > 0.0) {
+    const double scale = ticks / old_ticks;
+    scenario->faults.slowdown_begin *= scale;
+    scenario->faults.slowdown_end *= scale;
+  }
+  // Keep the checkpoint cadence proportional (and >= 1 tick), so a scaled
+  // run still writes stats snapshots before its horizon.
+  if (old_ticks > 0.0 && scenario->stats_snapshot_period > 0.0) {
+    scenario->stats_snapshot_period =
+        std::max(1.0, scenario->stats_snapshot_period * ticks / old_ticks);
+  }
+  // Keep the diurnal period meaningful on short horizons: a smoke run
+  // should still see the availability move through a full cycle.
+  if (scenario->drift.kind == DriftProcess::Kind::kDiurnal &&
+      scenario->drift.period > ticks) {
+    scenario->drift.period = std::max(ticks / 1.25, 1.0);
+  }
+}
+
+}  // namespace stratrec::sim

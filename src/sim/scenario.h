@@ -1,0 +1,174 @@
+// Composable scenario descriptions for the platform simulator.
+//
+// A scenario is a plain value: an arrival process, an availability process
+// (diurnal drift, a random walk, worker-pool churn), optional storm and
+// fault-injection processes, and the tenant/catalog shape. The simulator
+// (src/sim/simulator.h) interprets one ScenarioConfig against a seeded
+// event loop; the builtin set below covers the macro-benchmark matrix the
+// ROADMAP asks for — Poisson and bursty arrivals, diurnal drift, pool
+// churn, revocation and cancellation storms, fault brownouts, and
+// multi-tenant catalogs — and callers are free to mutate any field (or
+// compose entirely new configs) before running.
+#ifndef STRATREC_SIM_SCENARIO_H_
+#define STRATREC_SIM_SCENARIO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace stratrec::sim {
+
+/// How request batches (or stream arrivals) enter the platform per tick.
+struct ArrivalProcess {
+  enum class Kind {
+    kPoisson,  ///< Poisson(rate) batches per tick
+    kBursty,   ///< a back-to-back burst every `burst_period` ticks
+  };
+  Kind kind = Kind::kPoisson;
+  double rate = 2.0;
+  int burst_lo = 8;
+  int burst_hi = 18;
+  int burst_period = 4;
+  /// Deployment requests per batch (uniform in [lo, hi]). Stream-mode
+  /// scenarios submit one arrival per generated request instead.
+  int requests_lo = 2;
+  int requests_hi = 4;
+  /// Cardinality constraint stamped on every generated request.
+  int k = 5;
+  /// Every `hard_every`-th request draws unsatisfiable thresholds (quality
+  /// near 1 at a tight budget), forcing the ADPaR alternatives leg; 0
+  /// disables.
+  int hard_every = 7;
+
+  bool operator==(const ArrivalProcess&) const = default;
+};
+
+/// How the expected worker availability W moves over virtual time.
+struct DriftProcess {
+  enum class Kind {
+    kNone,        ///< constant `base`
+    kDiurnal,     ///< base + amplitude * sin(2*pi * t / period)
+    kRandomWalk,  ///< +- step per tick, clamped to [lo, hi]
+  };
+  Kind kind = Kind::kNone;
+  double base = 0.55;
+  double amplitude = 0.2;
+  double period = 96.0;  ///< ticks per simulated day
+  double step = 0.04;
+  double lo = 0.2;
+  double hi = 0.9;
+
+  bool operator==(const DriftProcess&) const = default;
+};
+
+/// Worker-pool churn: a seat count random-walked by Poisson joins/leaves
+/// each tick. The effective availability is the drift process's W scaled by
+/// the occupied-seat fraction, so a shrinking pool squeezes capacity the
+/// way departing workers would.
+struct ChurnProcess {
+  bool enabled = false;
+  size_t capacity = 200;  ///< seats
+  size_t initial = 160;   ///< seats occupied at t = 0
+  double join_rate = 5.0;
+  double leave_rate = 5.0;
+
+  bool operator==(const ChurnProcess&) const = default;
+};
+
+/// Periodic mass events: revocation storms (stream mode — a fraction of the
+/// live request set is revoked at once) and cancellation storms (batch mode
+/// — a wave of async tickets is submitted and a fraction immediately
+/// cancelled, racing the worker pool on purpose).
+struct StormProcess {
+  int revocation_period = 0;  ///< ticks between storms; 0 = off
+  double revocation_fraction = 0.5;
+  int cancellation_period = 0;  ///< ticks between waves; 0 = off
+  int cancellation_wave = 12;   ///< async batches per wave
+  double cancellation_fraction = 0.5;
+
+  bool operator==(const StormProcess&) const = default;
+};
+
+/// Fault-injection knobs.
+struct FaultInjection {
+  /// Probability a generated batch is dropped before submission (a lost
+  /// ticket: the client gave up, the platform never saw it).
+  double drop_probability = 0.0;
+  /// Virtual-time window during which deployment durations are multiplied
+  /// by `slowdown_factor` (a shard brownout); begin == end disables.
+  double slowdown_begin = 0.0;
+  double slowdown_end = 0.0;
+  double slowdown_factor = 1.0;
+
+  bool operator==(const FaultInjection&) const = default;
+};
+
+/// One complete scenario.
+struct ScenarioConfig {
+  std::string name;
+  std::string summary;
+  /// Virtual horizon in ticks (one tick = one scheduling round; the diurnal
+  /// period gives it a wall-clock reading — 96 ticks ~ one day).
+  double ticks = 120.0;
+  /// Strategies per tenant catalog (synthesized by workload::Generator
+  /// unless the caller supplies a catalog through RunOptions).
+  size_t strategies = 1500;
+  size_t tenants = 1;
+  /// Drive a stream session per tenant instead of batch submissions: the
+  /// Section-7 dynamic setting (arrivals/revocations/completions against
+  /// drifting capacity) rather than the Figure-1 batch pipeline.
+  bool stream_mode = false;
+  ArrivalProcess arrivals;
+  DriftProcess drift;
+  ChurnProcess churn;
+  StormProcess storms;
+  FaultInjection faults;
+  /// Snap resolved availabilities onto this grid (ServiceConfig::cache
+  /// quantization) so drifting W values share snapshots; 0 = off.
+  double availability_quantum = 0.0;
+  /// When > 0 and journaling is on, append a virtual-time-stamped stats
+  /// snapshot every this many ticks (Service::RecordStatsSnapshot(now)).
+  /// Stats records carry executor gauges, so runs that write them trade
+  /// byte-identical journals for saturation checkpoints — the replay
+  /// identity check is unaffected (stats records are not replayed).
+  double stats_snapshot_period = 0.0;
+  /// Whether a run's journal bytes are invariant across pool sizes and
+  /// repeated runs (modulo the config record, which embeds the pool size,
+  /// and any stats records). False only for scenarios that intentionally
+  /// race the pool — cancellation storms — where which tickets complete
+  /// versus cancel is scheduling-dependent; replay identity still holds.
+  bool deterministic_journal = true;
+
+  bool operator==(const ScenarioConfig&) const = default;
+};
+
+/// The builtin scenario set, in sweep order:
+///   poisson           steady Poisson batch arrivals at fixed W
+///   bursty            burst/drain batch arrival waves
+///   diurnal           Poisson arrivals under sinusoidal availability drift,
+///                     with virtual-time-stamped stats checkpoints
+///   brownout          diurnal plus fault injection: dropped tickets and a
+///                     mid-run shard slowdown window
+///   churn             stream mode: worker-pool join/leave churn scaling
+///                     capacity under Poisson arrivals
+///   revocation-storm  stream mode: periodic mass revocations
+///   cancel-storm      async batch waves with racing Ticket::Cancel
+///   multi-tenant      three tenant catalogs driven side by side
+std::vector<ScenarioConfig> BuiltinScenarios();
+
+/// Looks a builtin up by name; kNotFound otherwise.
+Result<ScenarioConfig> FindScenario(const std::string& name);
+
+/// The builtin names, in sweep order.
+std::vector<std::string> ScenarioNames();
+
+/// Scales a scenario's horizon and catalog down (or up) in place — the
+/// smoke-test and unit-test hook, so CI legs run the same scenario shapes
+/// the full sweep does, just shorter.
+void ScaleScenario(ScenarioConfig* scenario, double ticks, size_t strategies);
+
+}  // namespace stratrec::sim
+
+#endif  // STRATREC_SIM_SCENARIO_H_

@@ -1,0 +1,123 @@
+// The platform simulator: a seeded discrete-event engine driving one (or
+// several, for multi-tenant scenarios) stratrec::Service through a
+// ScenarioConfig — the repo's macro-benchmark and schedule-space
+// robustness harness.
+//
+// A run is a pure function of (scenario, seed): every stochastic choice
+// draws from a named per-actor PRNG stream, every event fires in virtual-
+// time order on one thread, and the only nondeterminism anywhere is the
+// worker pool *inside* the Service — which the record/replay subsystem
+// already pins to bit-identical reports at any pool size. The simulator
+// leans on that contract twice over:
+//
+//   * every run can record a replayable journal (RunOptions::journal_path),
+//     and bench/platform_sim.cc replays every (scenario, seed, pool) cell,
+//     asserting byte-identical reports — a SimGrid-style sweep of the
+//     schedule space where the determinism check catches interleaving bugs
+//     TSan cannot see;
+//   * SimReport::schedule_digest hashes the run's decision schedule
+//     (inputs only, never racy outcomes), so two runs of one (scenario,
+//     seed) must produce equal digests at every pool size, and
+//     JournalFingerprint() extends the same claim to the recorded journal
+//     bytes for scenarios that do not race tickets on purpose.
+#ifndef STRATREC_SIM_SIMULATOR_H_
+#define STRATREC_SIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/envelope.h"
+#include "src/common/status.h"
+#include "src/core/online.h"
+#include "src/core/stratrec.h"
+#include "src/sim/scenario.h"
+
+namespace stratrec::sim {
+
+struct RunOptions {
+  uint64_t seed = 1;
+  /// Worker threads of each tenant Service (the pool-size axis of the
+  /// sweep); 0 means hardware concurrency.
+  size_t worker_threads = 1;
+  /// Base journal path; empty disables recording. Tenant 0 records to the
+  /// base path, tenant t > 0 to "<path>.t<t>" (distinct from the writer's
+  /// numeric ".N" segment-rotation suffixes).
+  std::string journal_path;
+  /// Caller-supplied catalog for tenant 0 (e.g. the AMT-fitted catalog the
+  /// platform-simulation example builds); absent means a workload-generator
+  /// catalog synthesized from the seed. Tenants past 0 always synthesize.
+  std::optional<core::Catalog> catalog;
+
+  bool operator==(const RunOptions&) const = default;
+};
+
+/// Virtual-time latency of completed deployments (ticks from submission to
+/// simulated completion, slowdown windows included).
+struct LatencySummary {
+  size_t samples = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// What one simulated run did.
+struct SimReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  size_t worker_threads = 0;
+  /// FNV-1a digest of the decision schedule (see ScheduleDigest): equal for
+  /// every run of one (scenario, seed), whatever the pool size.
+  uint64_t schedule_digest = 0;
+  double virtual_duration = 0.0;  ///< ticks actually simulated
+  size_t events_fired = 0;
+
+  // Batch-pipeline counters.
+  size_t batches_submitted = 0;
+  size_t requests_submitted = 0;
+  size_t batches_completed = 0;
+  size_t batch_failures = 0;  ///< error outcomes other than kCancelled
+  size_t requests_satisfied = 0;
+  size_t alternatives_served = 0;  ///< ADPaR legs that produced a d'
+
+  // Fault injection and cancellation storms.
+  size_t dropped_batches = 0;  ///< lost tickets: generated but never sent
+  size_t cancel_attempts = 0;
+  size_t cancel_wins = 0;       ///< Cancel() beat the pool (racy by design)
+  size_t cancelled_batches = 0; ///< waves' tickets that completed kCancelled
+
+  // Stream-mode counters (folded across tenants).
+  core::OnlineStats stream;
+  size_t availability_changes = 0;
+  size_t worker_joins = 0;
+  size_t worker_leaves = 0;
+
+  LatencySummary latency;
+  /// Journal paths recorded, tenant order; empty when recording was off.
+  std::vector<std::string> journals;
+  /// Tenant-0 service lifetime counters at teardown.
+  api::ServiceStats service_stats;
+  double wall_seconds = 0.0;
+};
+
+/// Runs one scenario to its horizon. Fails only on setup errors (an
+/// unbuildable catalog or service); scenario-level failures (rejected
+/// arrivals, infeasible batches, lost cancel races) are results, not
+/// errors, and land in the report counters.
+Result<SimReport> RunScenario(const ScenarioConfig& scenario,
+                              const RunOptions& options);
+
+/// Digest over the replay-relevant records of a recorded journal —
+/// everything except the config record (which embeds the pool size) and
+/// stats records (whose executor gauges are sampled live). For any
+/// scenario with deterministic_journal, the fingerprint is identical
+/// across runs AND pool sizes; cancel-storm journals vary (racy ticket
+/// outcomes) but still replay byte-identically.
+Result<uint64_t> JournalFingerprint(const std::string& path);
+
+}  // namespace stratrec::sim
+
+#endif  // STRATREC_SIM_SIMULATOR_H_

@@ -507,11 +507,23 @@ TEST(Codec, StatsRecordDecodesIntoTheTrace) {
   ASSERT_TRUE(trace.ok()) << trace.status().ToString();
   EXPECT_TRUE(trace->pairs.empty());
   ASSERT_EQ(trace->stats.size(), 2u);
-  EXPECT_TRUE(trace->stats[0] == stats);
-  EXPECT_TRUE(trace->stats[1] == stats);
+  EXPECT_TRUE(trace->stats[0].stats == stats);
+  EXPECT_FALSE(trace->stats[0].has_sim_time);
+  EXPECT_TRUE(trace->stats[1].stats == stats);
   // Encoding is byte-deterministic: two identical snapshots, two identical
   // record lines.
   EXPECT_EQ(EncodeStatsRecord(stats), record);
+
+  // The v6 virtual-time-stamped variant round-trips the stamp.
+  const std::string stamped = EncodeStatsRecord(stats, 42.5);
+  EXPECT_EQ(stamped.rfind("{\"kind\":\"stats\",\"sim_time\":", 0), 0u)
+      << stamped;
+  auto stamped_trace = DecodeTrace({stamped});
+  ASSERT_TRUE(stamped_trace.ok()) << stamped_trace.status().ToString();
+  ASSERT_EQ(stamped_trace->stats.size(), 1u);
+  EXPECT_TRUE(stamped_trace->stats[0].has_sim_time);
+  EXPECT_EQ(stamped_trace->stats[0].sim_time, 42.5);
+  EXPECT_TRUE(stamped_trace->stats[0].stats == stats);
 }
 
 TEST(Codec, StreamRecordsDecodeIntoTheTrace) {

@@ -523,10 +523,10 @@ TEST(Journal, StatsSnapshotsLandInTheTraceAndReplayIgnoresThem) {
   // advance between them and the pool is drained at snapshot time (the
   // sync submissions have completed), so queue_depth is deterministic.
   ASSERT_EQ(trace->stats.size(), 2u);
-  EXPECT_EQ(trace->stats[0].batches, 1u);
-  EXPECT_EQ(trace->stats[1].batches, 2u);
-  EXPECT_EQ(trace->stats[0].queue_depth, 0u);
-  EXPECT_EQ(trace->stats[1].queue_depth, 0u);
+  EXPECT_EQ(trace->stats[0].stats.batches, 1u);
+  EXPECT_EQ(trace->stats[1].stats.batches, 2u);
+  EXPECT_EQ(trace->stats[0].stats.queue_depth, 0u);
+  EXPECT_EQ(trace->stats[1].stats.queue_depth, 0u);
 
   // Checkpoints never disturb the replay contract: the pairs replay and
   // bit-match exactly as they would without them.
