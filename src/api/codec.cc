@@ -190,6 +190,7 @@ Result<StatusCode> ParseStatusCode(const std::string& name) {
       StatusCode::kNotFound,    StatusCode::kOutOfRange,
       StatusCode::kFailedPrecondition, StatusCode::kInfeasible,
       StatusCode::kCancelled,   StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
   };
   for (const StatusCode code : kCodes) {
     if (name == StatusCodeName(code)) return code;
@@ -563,6 +564,9 @@ json::Value Encode(const api::BatchRequest& request) {
   AddOptionalEnum(&obj, "policy", request.policy);
   AddOptional(&obj, "recommend_alternatives", request.recommend_alternatives);
   AddOptional(&obj, "adpar_solver", request.adpar_solver);
+  // 0 (no deadline) is omitted so pre-v7 request encodings are reproduced
+  // byte for byte.
+  if (request.deadline_ms > 0.0) obj.Add("deadline_ms", request.deadline_ms);
   return obj;
 }
 
@@ -599,6 +603,10 @@ Result<api::BatchRequest> DecodeBatchRequest(const json::Value& value) {
                                          &request.recommend_alternatives));
   STRATREC_RETURN_NOT_OK(GetOptionalString(value, "adpar_solver",
                                            &request.adpar_solver));
+  if (value.Find("deadline_ms") != nullptr) {
+    STRATREC_RETURN_NOT_OK(GetDouble(value, "deadline_ms",
+                                     &request.deadline_ms));
+  }
   return request;
 }
 
@@ -777,6 +785,7 @@ json::Value Encode(const api::SweepRequest& request) {
   for (const std::string& solver : request.solvers) solvers.Append(solver);
   obj.Add("solvers", std::move(solvers));
   obj.Add("availability", Encode(request.availability));
+  if (request.deadline_ms > 0.0) obj.Add("deadline_ms", request.deadline_ms);
   return obj;
 }
 
@@ -809,6 +818,10 @@ Result<api::SweepRequest> DecodeSweepRequest(const json::Value& value) {
   auto spec = DecodeAvailabilitySpec(*availability);
   if (!spec.ok()) return spec.status();
   request.availability = std::move(*spec);
+  if (value.Find("deadline_ms") != nullptr) {
+    STRATREC_RETURN_NOT_OK(GetDouble(value, "deadline_ms",
+                                     &request.deadline_ms));
+  }
   return request;
 }
 
@@ -886,6 +899,7 @@ json::Value Encode(const api::StreamOptions& options) {
   AddOptionalEnum(&obj, "aggregation", options.aggregation);
   AddOptionalEnum(&obj, "policy", options.policy);
   AddOptional(&obj, "recommend_alternatives", options.recommend_alternatives);
+  if (options.deadline_ms > 0.0) obj.Add("deadline_ms", options.deadline_ms);
   if (!options.session_id.empty()) obj.Add("session_id", options.session_id);
   return obj;
 }
@@ -910,6 +924,10 @@ Result<api::StreamOptions> DecodeStreamOptions(const json::Value& value) {
       value, "policy", ParsePolicy, &options.policy));
   STRATREC_RETURN_NOT_OK(GetOptionalBool(value, "recommend_alternatives",
                                          &options.recommend_alternatives));
+  if (value.Find("deadline_ms") != nullptr) {
+    STRATREC_RETURN_NOT_OK(GetDouble(value, "deadline_ms",
+                                     &options.deadline_ms));
+  }
   if (value.Find("session_id") != nullptr) {
     STRATREC_RETURN_NOT_OK(GetString(value, "session_id",
                                      &options.session_id));
@@ -1172,6 +1190,10 @@ json::Value Encode(const api::ServiceStats& stats) {
   obj.Add("index_build_nanos", stats.index_build_nanos);
   obj.Add("rejected_requests", stats.rejected_requests);
   obj.Add("retry_after_hints", stats.retry_after_hints);
+  obj.Add("deadline_exceeded", stats.deadline_exceeded);
+  obj.Add("retries", stats.retries);
+  obj.Add("failovers", stats.failovers);
+  obj.Add("hedges_won", stats.hedges_won);
   obj.Add("kernel_dispatch", stats.kernel_dispatch);
   return obj;
 }
@@ -1208,6 +1230,21 @@ Result<api::ServiceStats> DecodeServiceStats(const json::Value& value) {
       GetSize(value, "rejected_requests", &stats.rejected_requests));
   STRATREC_RETURN_NOT_OK(
       GetSize(value, "retry_after_hints", &stats.retry_after_hints));
+  // Fault-tolerance counters arrived with journal format v7; absent in v6
+  // records, so they decode optionally (default 0) to keep old traces
+  // replayable.
+  std::optional<size_t> opt;
+  STRATREC_RETURN_NOT_OK(GetOptionalSize(value, "deadline_exceeded", &opt));
+  stats.deadline_exceeded = opt.value_or(0);
+  opt.reset();
+  STRATREC_RETURN_NOT_OK(GetOptionalSize(value, "retries", &opt));
+  stats.retries = opt.value_or(0);
+  opt.reset();
+  STRATREC_RETURN_NOT_OK(GetOptionalSize(value, "failovers", &opt));
+  stats.failovers = opt.value_or(0);
+  opt.reset();
+  STRATREC_RETURN_NOT_OK(GetOptionalSize(value, "hedges_won", &opt));
+  stats.hedges_won = opt.value_or(0);
   STRATREC_RETURN_NOT_OK(
       GetString(value, "kernel_dispatch", &stats.kernel_dispatch));
   return stats;

@@ -44,6 +44,13 @@ struct BatchRequest {
   std::optional<core::WorkforcePolicy> policy;
   std::optional<bool> recommend_alternatives;
   std::optional<std::string> adpar_solver;
+  /// Time budget in milliseconds, relative to submission (relative so a
+  /// replayed journal grants the recorded request a fresh budget). 0 (the
+  /// default) means no deadline. Work still queued when the budget runs out
+  /// completes with kDeadlineExceeded instead of executing; the serving tier
+  /// maps that to HTTP 504 and fills it from the X-Stratrec-Deadline-Ms
+  /// header.
+  double deadline_ms = 0.0;
   /// Caller-assigned report id; empty (the default) means service-assigned.
   /// Uniqueness is the caller's responsibility. Declared last so aggregate
   /// initialization of the workload fields stays source-compatible.
@@ -78,6 +85,9 @@ struct SweepRequest {
   /// Registry names; empty -> the service's default adpar solver.
   std::vector<std::string> solvers;
   AvailabilitySpec availability;  ///< kDefault -> service config
+  /// Time budget in ms relative to submission; 0 = none. See
+  /// BatchRequest::deadline_ms.
+  double deadline_ms = 0.0;
   /// Caller-assigned report id; empty (the default) means service-assigned.
   /// Declared last: see BatchRequest::request_id.
   std::string request_id;
@@ -196,6 +206,10 @@ struct StreamOptions {
   /// the stream twin of BatchRequest::recommend_alternatives. Unset falls
   /// back to StreamDefaults (off).
   std::optional<bool> recommend_alternatives;
+  /// Time budget in ms for opening the session, relative to the open call;
+  /// 0 = none. See BatchRequest::deadline_ms. (Individual stream events are
+  /// synchronous and carry no budget of their own.)
+  double deadline_ms = 0.0;
   /// Caller-assigned session id; empty (the default) means service-assigned
   /// ("stream-000003"). The hook the replay harness uses to reproduce
   /// recorded session ids, mirroring BatchRequest::request_id. Declared
@@ -311,6 +325,18 @@ struct ServiceStats {
   /// one stats envelope (and one codec) covers both tiers.
   size_t rejected_requests = 0;
   size_t retry_after_hints = 0;
+  /// Fault-tolerance counters (lifetime; journal format v7). Like the
+  /// admission counters above, the upper tiers maintain most of them:
+  /// `deadline_exceeded` counts work abandoned because its deadline_ms
+  /// budget ran out (Service and ShardRouter both); `retries` counts
+  /// HttpClient re-sends after a transport failure or 429; `failovers`
+  /// counts router scans re-dispatched to another replica after a replica
+  /// failed or timed out; `hedges_won` counts hedged duplicate scans that
+  /// beat the primary.
+  size_t deadline_exceeded = 0;
+  size_t retries = 0;
+  size_t failovers = 0;
+  size_t hedges_won = 0;
   /// Active SIMD dispatch level of the SoA kernels ("avx2" or "scalar";
   /// core::kernels::DispatchLevelName), sampled at stats() time. Surfaced on
   /// /v1/stats so a fleet can verify which code path each box runs — a

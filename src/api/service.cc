@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +43,7 @@ struct alignas(64) StatsStripe {
   std::atomic<uint64_t> snapshot_rebuilds{0};
   std::atomic<uint64_t> requests_processed{0};
   std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 };
@@ -73,6 +75,8 @@ class StripedStats {
       out.requests_processed +=
           stripe.requests_processed.load(std::memory_order_relaxed);
       out.cancelled += stripe.cancelled.load(std::memory_order_relaxed);
+      out.deadline_exceeded +=
+          stripe.deadline_exceeded.load(std::memory_order_relaxed);
       out.cache_hits += stripe.cache_hits.load(std::memory_order_relaxed);
       out.cache_misses +=
           stripe.cache_misses.load(std::memory_order_relaxed);
@@ -556,13 +560,36 @@ Result<Service> Service::Create(std::vector<core::Strategy> strategies,
       std::move(config));
 }
 
+namespace {
+
+/// Whether a request's relative deadline_ms budget ran out between
+/// submission and the moment a worker claimed its ticket. 0 = no deadline.
+bool DeadlineExpired(double deadline_ms,
+                     std::chrono::steady_clock::time_point submitted) {
+  if (deadline_ms <= 0.0) return false;
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - submitted)
+                                .count();
+  return elapsed_ms > deadline_ms;
+}
+
+/// The deterministic outcome of an expired ticket (no elapsed time in the
+/// message, so journaled outcomes replay byte-identically).
+Status ExpiredStatus(const std::string& id) {
+  return Status::DeadlineExceeded("ticket " + id +
+                                  " deadline expired before execution");
+}
+
+}  // namespace
+
 Ticket<BatchReport> Service::SubmitBatchAsync(BatchRequest request) const {
   auto shared = std::make_shared<internal::TicketShared<BatchReport>>(
       request.request_id.empty() ? state_->NextId("batch")
                                  : request.request_id);
   internal::ServiceState* state = state_.get();
+  const auto submitted = std::chrono::steady_clock::now();
   state_->executor.Submit(
-      [state, shared, request = std::move(request)]() mutable {
+      [state, shared, submitted, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->stats.Local().cancelled.fetch_add(1,
                                                    std::memory_order_relaxed);
@@ -572,6 +599,19 @@ Ticket<BatchReport> Service::SubmitBatchAsync(BatchRequest request) const {
                 Status::Cancelled("ticket " + shared->id +
                                   " cancelled before execution")));
           }
+          return;
+        }
+        // Deadline check after the claim: expired work completes with
+        // kDeadlineExceeded instead of executing, and the counter/journal
+        // side effects land before Finish wakes the waiter.
+        if (DeadlineExpired(request.deadline_ms, submitted)) {
+          state->stats.Local().deadline_exceeded.fetch_add(
+              1, std::memory_order_relaxed);
+          if (state->journal && state->config.journal.record_cancelled) {
+            state->Record(wire::EncodeBatchRecord(shared->id, request,
+                                                  ExpiredStatus(shared->id)));
+          }
+          shared->Finish(ExpiredStatus(shared->id));
           return;
         }
         auto outcome = internal::GuardJob([&]() {
@@ -592,8 +632,9 @@ Ticket<SweepReport> Service::RunSweepAsync(SweepRequest request) const {
       request.request_id.empty() ? state_->NextId("sweep")
                                  : request.request_id);
   internal::ServiceState* state = state_.get();
+  const auto submitted = std::chrono::steady_clock::now();
   state_->executor.Submit(
-      [state, shared, request = std::move(request)]() mutable {
+      [state, shared, submitted, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->stats.Local().cancelled.fetch_add(1,
                                                    std::memory_order_relaxed);
@@ -603,6 +644,16 @@ Ticket<SweepReport> Service::RunSweepAsync(SweepRequest request) const {
                 Status::Cancelled("ticket " + shared->id +
                                   " cancelled before execution")));
           }
+          return;
+        }
+        if (DeadlineExpired(request.deadline_ms, submitted)) {
+          state->stats.Local().deadline_exceeded.fetch_add(
+              1, std::memory_order_relaxed);
+          if (state->journal && state->config.journal.record_cancelled) {
+            state->Record(wire::EncodeSweepRecord(shared->id, request,
+                                                  ExpiredStatus(shared->id)));
+          }
+          shared->Finish(ExpiredStatus(shared->id));
           return;
         }
         auto outcome = internal::GuardJob([&]() {

@@ -32,6 +32,7 @@
 #ifndef STRATREC_API_TICKET_H_
 #define STRATREC_API_TICKET_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -117,12 +118,21 @@ struct TicketShared {
 
   /// Caller-side: kQueued -> cancelled outcome. False once running/done.
   bool Cancel() {
+    return CancelWith(
+        Status::Cancelled("ticket " + id + " cancelled before execution"));
+  }
+
+  /// Like Cancel() but with an explicit error outcome — the deadline path
+  /// completes expired queued work with kDeadlineExceeded through the same
+  /// claim-then-Finish protocol, so callbacks and consumers see no new
+  /// states.
+  bool CancelWith(Status status) {
     {
       std::lock_guard<std::mutex> lock(mutex);
       if (phase != Phase::kQueued) return false;
       phase = Phase::kRunning;  // claim it exactly like a worker would
     }
-    Finish(Status::Cancelled("ticket " + id + " cancelled before execution"));
+    Finish(std::move(status));
     return true;
   }
 };
@@ -146,6 +156,23 @@ class Ticket {
     return ConsumeWhileLocked();
   }
 
+  /// Bounded Wait: blocks up to `timeout`, then either moves the outcome out
+  /// (single-consumer, like Wait) or returns nullopt with the job untouched —
+  /// a timed-out WaitFor consumes nothing, so the caller can retry, hedge,
+  /// or fall back to Wait(). The failover/hedging paths in ShardRouter are
+  /// built on this.
+  template <typename Rep, typename Period>
+  std::optional<Result<T>> WaitFor(
+      std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    if (!shared_->done.wait_for(lock, timeout, [this]() {
+          return shared_->phase == Shared::Phase::kDone;
+        })) {
+      return std::nullopt;
+    }
+    return ConsumeWhileLocked();
+  }
+
   /// Non-blocking probe: nullopt while the job is queued, running, or still
   /// firing its callback; otherwise the moved-out outcome (single-consumer,
   /// like Wait).
@@ -160,6 +187,12 @@ class Ticket {
   /// it). False once the job is running or done — the result still arrives
   /// normally.
   bool Cancel() { return shared_->Cancel(); }
+
+  /// Cancel with an explicit error outcome (e.g. kDeadlineExceeded). Same
+  /// queued-only semantics as Cancel().
+  bool CancelWith(Status status) {
+    return shared_->CancelWith(std::move(status));
+  }
 
   /// Registers the completion callback (at most one per ticket). Fires
   /// exactly once with the outcome by const reference: from the completing

@@ -1,0 +1,146 @@
+// Deterministic fault injection for the serving and simulation tiers.
+//
+// A FaultPlan is a seeded schedule of injected faults over named *sites* —
+// fixed code locations (a replica dispatch in the shard router, the
+// response path of the HTTP server, the batch-drop point of the simulator's
+// brownout scenario) that consult the plan every time execution passes
+// them. The decision for the n-th visit of a site is a pure function of
+// (seed, site name, n): the same seed always produces the same
+// injected-fault schedule, independent of thread interleaving — which
+// visit *index* a concurrent request lands on may race, but the set of
+// injected indices per site never does. That is the property the chaos
+// bench pins (bench/chaos_serving.cc) and stamps into its workload block
+// as the schedule digest.
+//
+// Sites are registered by name in the FaultConfig; visiting an unregistered
+// site is a no-op (no counter, no injection), so instrumented code paths
+// cost one atomic load when no plan is installed and nothing is ever
+// injected unless a test or bench explicitly asks for it.
+//
+// Two usage modes:
+//   * instance   — the simulator owns a run-local plan seeded from the run
+//                  (deterministic replays, no global state),
+//   * process-global — InstallGlobalFaultPlan/ClearGlobalFaultPlan gate the
+//                  sites compiled into HttpServer and ShardRouter; the
+//                  chaos bench installs a plan per sweep cell and clears it
+//                  between cells.
+#ifndef STRATREC_COMMON_FAULT_H_
+#define STRATREC_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stratrec::fault {
+
+/// What one site injects and how often.
+struct SiteSpec {
+  /// Fraction of visits injected, in [0, 1]. 1.0 injects every visit (the
+  /// "dead replica" shape); 0 disables the site without unregistering it.
+  double rate = 0.0;
+  /// For delay-style sites: how long the injected visit stalls. Drop/fail
+  /// sites ignore it.
+  double delay_ms = 0.0;
+
+  bool operator==(const SiteSpec&) const = default;
+};
+
+/// The full plan: one seed plus the registered sites.
+struct FaultConfig {
+  uint64_t seed = 0;
+  std::vector<std::pair<std::string, SiteSpec>> sites;
+
+  bool operator==(const FaultConfig&) const = default;
+};
+
+/// Outcome of one site visit.
+struct FaultDecision {
+  bool inject = false;
+  double delay_ms = 0.0;  ///< the site's delay knob, when injecting
+  uint64_t visit = 0;     ///< 0-based visit index that produced the decision
+};
+
+/// A seeded fault schedule. Visit() is thread-safe and lock-free; the
+/// decision for (site, visit n) is deterministic in the seed.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< empty plan: every Visit is a no-op
+  explicit FaultPlan(FaultConfig config);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// True when at least one site is registered (rate 0 sites count: they
+  /// still track visits).
+  bool enabled() const { return !sites_.empty(); }
+  const FaultConfig& config() const { return config_; }
+
+  /// Consults the plan at `site`. Registered sites advance their visit
+  /// counter and decide by hashing (seed, site, visit index); unregistered
+  /// sites return {inject = false} without any side effect.
+  FaultDecision Visit(std::string_view site);
+
+  /// Whether `site` is registered (useful for most-specific-site dispatch:
+  /// "router.shard.0.replica.0" before the generic "router.replica").
+  bool HasSite(std::string_view site) const;
+
+  /// Lifetime counters per site; 0 for unregistered names.
+  uint64_t Visits(std::string_view site) const;
+  uint64_t Injected(std::string_view site) const;
+  /// Totals across every registered site.
+  uint64_t TotalInjected() const;
+
+  /// Order-independent digest of the injected-fault schedule so far: the
+  /// XOR-fold of one hash per injected (site, visit index) pair. Two runs
+  /// with the same seed and the same per-site visit counts produce the same
+  /// digest no matter how threads interleaved — the determinism pin of
+  /// tests/fault_test.cc and the chaos bench's workload stamp.
+  uint64_t ScheduleDigest() const;
+
+ private:
+  struct Site {
+    std::string name;
+    SiteSpec spec;
+    uint64_t name_hash = 0;
+    std::atomic<uint64_t> visits{0};
+    std::atomic<uint64_t> injected{0};
+    std::atomic<uint64_t> digest{0};  ///< XOR of injected-visit hashes
+  };
+
+  const Site* Find(std::string_view site) const;
+  Site* Find(std::string_view site);
+
+  FaultConfig config_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+/// Installs `config` as the process-global plan consulted by the serving
+/// tier's compiled-in sites (HttpServer's drop/delay points, ShardRouter's
+/// replica dispatch). Replaces any previous plan. The returned pointer stays
+/// valid until the next Install/Clear — callers that need counters should
+/// keep it.
+std::shared_ptr<FaultPlan> InstallGlobalFaultPlan(FaultConfig config);
+/// Removes the global plan; every site becomes a no-op again.
+void ClearGlobalFaultPlan();
+/// The installed plan, or nullptr. Sites use this; the nullptr fast path is
+/// one relaxed atomic load.
+std::shared_ptr<FaultPlan> GlobalFaultPlan();
+
+/// Site names compiled into the stack (see the wiring in src/net and
+/// src/router). Registered or not per plan; listed here so benches, tests,
+/// and docs spell them identically.
+inline constexpr std::string_view kSiteHttpDrop = "http.server.drop";
+inline constexpr std::string_view kSiteHttpDelay = "http.server.delay";
+inline constexpr std::string_view kSiteRouterReplica = "router.replica";
+inline constexpr std::string_view kSiteSimBatchDrop = "sim.batch.drop";
+/// Per-replica kill switch: "router.shard.<s>.replica.<r>" — the single-
+/// shard-failure shape of the chaos bench.
+std::string ReplicaSiteName(size_t shard, size_t replica);
+
+}  // namespace stratrec::fault
+
+#endif  // STRATREC_COMMON_FAULT_H_

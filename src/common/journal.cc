@@ -236,13 +236,15 @@ Result<std::vector<std::string>> JournalReader::ReadRecords(
   }
   const json::Value* version = header->Find("version");
   if (version == nullptr || !version->is_number() ||
-      version->AsNumber() != kJournalFormatVersion) {
+      version->AsNumber() < kJournalMinReadVersion ||
+      version->AsNumber() > kJournalFormatVersion) {
     return Status::InvalidArgument(
         "journal file '" + path + "' has unsupported format version " +
         (version != nullptr && version->is_number()
              ? json::FormatNumber(version->AsNumber())
              : "?") +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(kJournalMinReadVersion) + ".." +
         std::to_string(kJournalFormatVersion) + ")");
   }
   lines.erase(lines.begin());

@@ -49,7 +49,15 @@ inline constexpr std::string_view kJournalFormatName = "stratrec-journal";
 /// v6: stats records may carry a "sim_time" virtual-time stamp — the
 /// platform simulator (src/sim/) checkpoints service saturation against its
 /// discrete-event clock via Service::RecordStatsSnapshot(sim_time).
-inline constexpr int kJournalFormatVersion = 6;
+/// v7: stats records carry the fault-tolerance counters
+/// (deadline_exceeded/retries/failovers/hedges_won) and batch/sweep/
+/// stream-open requests may carry a relative deadline_ms budget. Both are
+/// optional on decode, so v6 traces still replay — the reader accepts
+/// kJournalMinReadVersion..kJournalFormatVersion.
+inline constexpr int kJournalFormatVersion = 7;
+/// Oldest version this build still reads (v6 records are a strict subset of
+/// v7: every added field decodes optionally).
+inline constexpr int kJournalMinReadVersion = 6;
 
 /// Thread-safe writer. Create via Open; the file is truncated and the
 /// header line written immediately, so even an empty trace is well-formed.

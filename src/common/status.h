@@ -21,6 +21,7 @@ enum class StatusCode {
   kInfeasible,
   kCancelled,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
@@ -64,6 +65,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Work abandoned because its caller-supplied deadline expired before it
+  /// could finish (maps to HTTP 504 in the serving tier).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -84,6 +84,7 @@ const char* DefaultReason(int status_code) {
     case 422: return "Unprocessable Entity";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -206,6 +207,10 @@ void HttpStream::ShutdownBoth() {
 
 void HttpStream::ShutdownSend() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void HttpStream::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
 Result<bool> HttpStream::Fill() {

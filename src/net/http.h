@@ -102,6 +102,10 @@ class HttpStream {
   /// Unblocks any in-flight read/write from another thread (shutdown
   /// RDWR); the fd stays open until destruction.
   void ShutdownBoth();
+  /// Half-close the receive side (shutdown RD): a blocked ReadRequest sees
+  /// clean EOF while writes keep flowing — the server's drain primitive
+  /// (stop framing new requests, finish flushing queued responses).
+  void ShutdownRead();
   /// Half-close: no more writes from this side (shutdown WR). The peer
   /// sees EOF after the bytes already sent — how a client signals a
   /// deliberately truncated body.

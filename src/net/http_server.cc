@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/json.h"
 
 namespace stratrec::net {
@@ -105,6 +107,8 @@ struct ServerState {
   void StopAndJoin() {
     if (stopped.exchange(true)) return;
     stopping.store(true);
+    // Refuse new connects first: the listener goes away before any
+    // connection is touched.
     if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
     if (acceptor.joinable()) acceptor.join();
     if (listen_fd >= 0) {
@@ -116,11 +120,40 @@ struct ServerState {
       std::lock_guard<std::mutex> lock(connections_mutex);
       drained.swap(connections);
     }
+    // Graceful drain: read-half-close every connection (readers finish
+    // framing what is already buffered, then see clean EOF), join them, and
+    // give in-flight jobs up to drain_ms to complete and flush their slots —
+    // the peer still receives every response it pipelined before the stop.
     for (ConnectionEntry& entry : drained) {
-      entry.connection->stream.ShutdownBoth();
+      entry.connection->stream.ShutdownRead();
     }
     for (ConnectionEntry& entry : drained) {
       if (entry.reader.joinable()) entry.reader.join();
+    }
+    if (config.drain_ms > 0.0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double, std::milli>(config.drain_ms);
+      for (const ConnectionEntry& entry : drained) {
+        for (;;) {
+          {
+            std::lock_guard<std::mutex> lock(entry.connection->mutex);
+            if (entry.connection->dead ||
+                (entry.connection->slots.empty() &&
+                 !entry.connection->writing)) {
+              break;
+            }
+          }
+          if (std::chrono::steady_clock::now() >= deadline) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+    for (ConnectionEntry& entry : drained) {
+      entry.connection->stream.ShutdownBoth();
+      // Late responders must drop, not write into the severed socket.
+      std::lock_guard<std::mutex> lock(entry.connection->mutex);
+      entry.connection->dead = true;
     }
   }
 
@@ -156,6 +189,29 @@ struct ServerState {
           RefuseAndClose(connection, request.status());
         }
         return;
+      }
+      // Fault sites, consulted per framed request before the handler runs:
+      // an injected drop severs the connection with no response (the peer
+      // sees a transport error — retryable, never a 5xx); an injected delay
+      // stalls this reader like a slow server would.
+      if (auto plan = fault::GlobalFaultPlan()) {
+        if (plan->HasSite(fault::kSiteHttpDelay)) {
+          const fault::FaultDecision delay =
+              plan->Visit(fault::kSiteHttpDelay);
+          if (delay.inject && delay.delay_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay.delay_ms));
+          }
+        }
+        if (plan->HasSite(fault::kSiteHttpDrop) &&
+            plan->Visit(fault::kSiteHttpDrop).inject) {
+          {
+            std::lock_guard<std::mutex> lock(connection->mutex);
+            connection->dead = true;
+          }
+          connection->stream.ShutdownBoth();
+          return;
+        }
       }
       const bool close_after = request->WantsClose();
       auto slot = std::make_shared<Slot>();

@@ -18,10 +18,23 @@
 // Transport-level failures (malformed head, truncated body, oversized
 // Content-Length) are answered by the server itself — 400/413 with a JSON
 // error body and `Connection: close` — without invoking the handler, so a
-// bad frame never reaches a Service. Stop() shuts every socket down,
-// unblocking the reader threads, and joins them; Responders held by
-// in-flight jobs stay safe after Stop (they write into a dead connection
-// and are dropped).
+// bad frame never reaches a Service.
+//
+// Stop() drains before it kills: the listener closes first (new connects
+// refused), every connection's read half shuts down (readers see clean EOF
+// and stop framing new requests), and already-accepted requests get up to
+// HttpServerConfig::drain_ms to complete and flush their in-order slots —
+// pipelined responses the peer is owed still arrive. Only after the drain
+// window (or immediately, when drain_ms == 0) do the sockets shut down
+// fully; Responders held past that stay safe (they write into a dead
+// connection and are dropped).
+//
+// Fault injection: when a fault::FaultPlan is installed with the
+// "http.server.drop" / "http.server.delay" sites, each framed request
+// consults it before reaching the handler — drop severs the connection
+// without a response (the client sees a transport error), delay stalls the
+// reader by the site's delay_ms (a slow server). Deterministic per plan
+// seed; no plan, no effect.
 #ifndef STRATREC_NET_HTTP_SERVER_H_
 #define STRATREC_NET_HTTP_SERVER_H_
 
@@ -49,6 +62,10 @@ struct HttpServerConfig {
   /// Requests declaring more than this are refused with 413 before the
   /// body is read.
   size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Stop()'s graceful-drain window: how long already-accepted requests get
+  /// to complete and flush before connections are severed. 0 restores the
+  /// old hard stop (in-flight responses dropped).
+  double drain_ms = 2000.0;
 };
 
 /// Completes one request; invoke exactly once. Safe to call from any
@@ -69,8 +86,9 @@ class HttpServer {
   uint16_t port() const;
   const HttpServerConfig& config() const;
 
-  /// Stops accepting, shuts down every connection, joins all transport
-  /// threads. Idempotent; also runs when the last handle drops.
+  /// Stops accepting (new connects refused), drains in-flight requests for
+  /// up to config.drain_ms, then shuts down every connection and joins all
+  /// transport threads. Idempotent; also runs when the last handle drops.
   void Stop();
 
  private:

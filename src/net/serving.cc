@@ -1,5 +1,7 @@
 #include "src/net/serving.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -26,6 +28,24 @@ std::string ErrorBody(const Status& status) {
 
 HttpResponse ErrorResponse(const Status& status) {
   return JsonResponse(HttpStatusFor(status), ErrorBody(status));
+}
+
+/// X-Stratrec-Deadline-Ms: a positive millisecond budget that overrides the
+/// body's own deadline_ms (curl users shouldn't have to edit the JSON).
+/// Absent -> no-op; malformed -> kInvalidArgument (a garbled deadline must
+/// not silently become "no deadline").
+Status ApplyDeadlineHeader(const HttpRequest& http, double* deadline_ms) {
+  const std::string* header = http.FindHeader("X-Stratrec-Deadline-Ms");
+  if (header == nullptr) return Status::OK();
+  const char* text = header->c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(parsed) || parsed <= 0.0) {
+    return Status::InvalidArgument(
+        "X-Stratrec-Deadline-Ms must be a positive number of milliseconds");
+  }
+  *deadline_ms = parsed;
+  return Status::OK();
 }
 
 HttpResponse MethodNotAllowed(const char* allow) {
@@ -66,6 +86,11 @@ void HandleSolve(const ShardRouter& router, const HttpRequest& http,
     respond(ErrorResponse(decoded.status()));
     return;
   }
+  const Status deadline = ApplyDeadlineHeader(http, &decoded->deadline_ms);
+  if (!deadline.ok()) {
+    respond(ErrorResponse(deadline));
+    return;
+  }
   api::Ticket<Report> ticket = submit(std::move(*decoded));
   // The responder rides the completion callback; this transport thread is
   // free as soon as the enqueue returns. The callback captures only the
@@ -98,6 +123,8 @@ int HttpStatusFor(const Status& status) {
       return 409;
     case StatusCode::kInfeasible:
       return 422;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
     case StatusCode::kInternal:
       return 500;
   }

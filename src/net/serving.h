@@ -15,11 +15,16 @@
 //
 // Failure mapping (HttpStatusFor): kInvalidArgument / kOutOfRange -> 400,
 // kNotFound -> 404, kFailedPrecondition / kCancelled -> 409,
-// kInfeasible -> 422, kInternal -> 500. Per-request infeasibility inside a
-// batch is in-band (the report's unsatisfied/alternatives sets), not an
-// HTTP error. Admission control happens before the body is even parsed:
-// when ShardRouter::TryAdmit refuses, the handler answers 429 with
-// `Retry-After: 1` and counts the hint.
+// kInfeasible -> 422, kDeadlineExceeded -> 504, kInternal -> 500.
+// Per-request infeasibility inside a batch is in-band (the report's
+// unsatisfied/alternatives sets), not an HTTP error. Admission control
+// happens before the body is even parsed: when ShardRouter::TryAdmit
+// refuses, the handler answers 429 with `Retry-After: 1` and counts the
+// hint.
+//
+// Deadlines: an `X-Stratrec-Deadline-Ms` request header (positive
+// milliseconds) overrides the body's deadline_ms before submit; work whose
+// budget expires while queued is cancelled with kDeadlineExceeded -> 504.
 #ifndef STRATREC_NET_SERVING_H_
 #define STRATREC_NET_SERVING_H_
 

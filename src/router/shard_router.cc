@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -14,6 +15,7 @@
 
 #include "src/api/registry.h"
 #include "src/common/executor.h"
+#include "src/common/fault.h"
 #include "src/core/adpar.h"
 #include "src/core/kernels/kernels.h"
 
@@ -32,7 +34,10 @@ struct RouterState {
   /// offsets[s] = global index of shard s's first strategy; offsets[N] =
   /// catalog size. Shard-local index j on shard s is global offsets[s] + j.
   std::vector<size_t> offsets;
-  std::vector<api::Service> shards;
+  /// shards[s][r] = replica r of shard s. Replicas of one shard are built
+  /// from the identical catalog slice and config; any replica's scan report
+  /// is the shard's report.
+  std::vector<std::vector<api::Service>> shards;
 
   std::atomic<uint64_t> next_id{1};
   mutable std::shared_mutex models_mutex;  ///< guards `models`
@@ -44,12 +49,18 @@ struct RouterState {
   std::atomic<uint64_t> cancelled{0};
   std::atomic<uint64_t> rejected_requests{0};
   std::atomic<uint64_t> retry_after_hints{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> failovers{0};
+  std::atomic<uint64_t> hedges_won{0};
+  /// Scatter sequence number feeding the deterministic replica picks.
+  std::atomic<uint64_t> scatter_seq{0};
 
   Executor executor;
 
   RouterState(RouterConfig config_in,
               std::vector<core::StrategyProfile> full_profiles_in,
-              std::vector<size_t> offsets_in, std::vector<api::Service> shards_in)
+              std::vector<size_t> offsets_in,
+              std::vector<std::vector<api::Service>> shards_in)
       : config(std::move(config_in)),
         full_profiles(std::move(full_profiles_in)),
         offsets(std::move(offsets_in)),
@@ -104,6 +115,23 @@ auto GuardJob(Fn&& body) -> decltype(body()) {
   }
 }
 
+/// Whether a request's relative deadline_ms budget ran out between
+/// submission and the moment a worker claimed its ticket (twin of the
+/// Service-side check in service.cc). 0 = no deadline.
+bool DeadlineExpired(double deadline_ms,
+                     std::chrono::steady_clock::time_point submitted) {
+  if (deadline_ms <= 0.0) return false;
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - submitted)
+                                .count();
+  return elapsed_ms > deadline_ms;
+}
+
+Status ExpiredStatus(const std::string& id) {
+  return Status::DeadlineExceeded("ticket " + id +
+                                  " deadline expired before execution");
+}
+
 /// The three algorithms whose solve can run over merged row aggregates.
 /// Registry names beyond these (e.g. "weighted", user registrations) take
 /// the unsharded fallback over the router's full profile copy.
@@ -114,21 +142,152 @@ std::optional<core::BatchAlgorithm> BuiltinAlgorithm(const std::string& name) {
   return std::nullopt;
 }
 
-/// Fans one scan out to every shard and collects the reports in shard
-/// order. Runs on a router pool worker; shard pools never wait on router
-/// jobs, so blocking here cannot deadlock.
+/// SplitMix64 whitening for the deterministic replica picks (local copy —
+/// the fault layer and sim keep their own so the schedules cannot couple).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The starting replica of shard `s` for scatter number `sequence`: a pure
+/// function of (replica_seed, sequence, shard), so two routers with the
+/// same seed spread the same request sequence identically.
+size_t PickReplica(const RouterState* state, uint64_t sequence, size_t s) {
+  const size_t n = state->config.replicas;
+  if (n <= 1) return 0;
+  return static_cast<size_t>(
+      SplitMix64(state->config.replica_seed ^ SplitMix64(sequence) ^
+                 (0x517cc1b727220a95ull * (s + 1))) %
+      n);
+}
+
+/// Whether the installed fault plan kills this dispatch. The per-replica
+/// site ("router.shard.<s>.replica.<r>") wins over the generic
+/// "router.replica" site when both are registered.
+bool ReplicaKilled(size_t s, size_t r) {
+  auto plan = fault::GlobalFaultPlan();
+  if (plan == nullptr) return false;
+  const std::string site = fault::ReplicaSiteName(s, r);
+  if (plan->HasSite(site)) return plan->Visit(site).inject;
+  if (plan->HasSite(fault::kSiteRouterReplica)) {
+    return plan->Visit(fault::kSiteRouterReplica).inject;
+  }
+  return false;
+}
+
+/// Deterministic outcome of an injected replica failure. The "[injected]"
+/// tag is the classifier the chaos bench uses to separate scheduled faults
+/// from real ones (a non-injected 5xx fails the bench).
+Status InjectedFailure(size_t s, size_t r) {
+  return Status::Internal("[injected] shard " + std::to_string(s) +
+                          " replica " + std::to_string(r) + " failed");
+}
+
+using ScanTicket = api::Ticket<api::ShardScanReport>;
+
+/// Resolves one shard's report from `primary` (nullopt when the dispatch
+/// was killed), failing over through the remaining replicas on error,
+/// injected fault, or replica_timeout_ms, and hedging the first live
+/// attempt after hedge_after_ms. Runs on a router pool worker; abandoned
+/// attempts still complete on their shard pools and are dropped.
+Result<api::ShardScanReport> GatherShard(RouterState* state, size_t s,
+                                         size_t first_replica,
+                                         std::optional<ScanTicket> primary,
+                                         const api::ShardScanRequest& scan) {
+  using Clock = std::chrono::steady_clock;
+  using Ms = std::chrono::duration<double, std::milli>;
+  const std::vector<api::Service>& replicas = state->shards[s];
+  const size_t n = replicas.size();
+  const double timeout_ms = state->config.replica_timeout_ms;
+  const double hedge_ms = state->config.hedge_after_ms;
+
+  Status last = Status::Internal("shard " + std::to_string(s) +
+                                 ": every replica attempt failed");
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    const size_t r = (first_replica + attempt) % n;
+    if (attempt > 0) state->failovers.fetch_add(1, std::memory_order_relaxed);
+    std::optional<ScanTicket> ticket;
+    if (attempt == 0) {
+      ticket = std::move(primary);
+    } else if (!ReplicaKilled(s, r)) {
+      ticket = replicas[r].ScanShardAsync(scan);
+    }
+    if (!ticket.has_value()) {
+      last = InjectedFailure(s, r);
+      continue;
+    }
+
+    std::optional<Result<api::ShardScanReport>> outcome;
+    if (attempt == 0 && hedge_ms > 0.0 && n > 1) {
+      // Hedge a straggling first attempt: give the primary hedge_ms, then
+      // race a duplicate on the next replica and take the first finisher.
+      outcome = ticket->WaitFor(Ms(hedge_ms));
+      if (!outcome.has_value()) {
+        const size_t hr = (r + 1) % n;
+        std::optional<ScanTicket> hedge;
+        if (!ReplicaKilled(s, hr)) hedge = replicas[hr].ScanShardAsync(scan);
+        const Clock::time_point hedged_at = Clock::now();
+        while (!outcome.has_value()) {
+          outcome = ticket->WaitFor(Ms(0.5));
+          if (outcome.has_value()) break;
+          if (hedge.has_value()) {
+            outcome = hedge->WaitFor(Ms(0.5));
+            if (outcome.has_value()) {
+              state->hedges_won.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+          }
+          if (timeout_ms > 0.0 &&
+              Ms(Clock::now() - hedged_at).count() > timeout_ms) {
+            break;  // both the primary and its hedge are stuck: fail over
+          }
+        }
+      }
+    } else if (timeout_ms > 0.0) {
+      outcome = ticket->WaitFor(Ms(timeout_ms));
+    } else {
+      outcome = ticket->Wait();
+    }
+
+    if (!outcome.has_value()) {
+      last = Status::Internal("shard " + std::to_string(s) + " replica " +
+                              std::to_string(r) + " timed out");
+      continue;
+    }
+    if (outcome->ok()) return std::move(*outcome);
+    last = outcome->status();
+  }
+  return last;
+}
+
+/// Fans one scan out to every shard (one starting replica each, picked
+/// deterministically) and collects the reports in shard order, failing over
+/// per shard as needed. Runs on a router pool worker; shard pools never
+/// wait on router jobs, so blocking here cannot deadlock.
 Result<std::vector<api::ShardScanReport>> Scatter(
     RouterState* state, const api::ShardScanRequest& scan) {
-  std::vector<api::Ticket<api::ShardScanReport>> tickets;
-  tickets.reserve(state->shards.size());
-  for (const api::Service& shard : state->shards) {
-    tickets.push_back(shard.ScanShardAsync(scan));
+  const size_t n_shards = state->shards.size();
+  const uint64_t sequence =
+      state->scatter_seq.fetch_add(1, std::memory_order_relaxed);
+  // Dispatch phase: one primary attempt per shard, so all shards work
+  // concurrently before any gather blocks.
+  std::vector<size_t> first(n_shards, 0);
+  std::vector<std::optional<ScanTicket>> primaries(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    first[s] = PickReplica(state, sequence, s);
+    if (!ReplicaKilled(s, first[s])) {
+      primaries[s] = state->shards[s][first[s]].ScanShardAsync(scan);
+    }
   }
   std::vector<api::ShardScanReport> reports;
-  reports.reserve(tickets.size());
+  reports.reserve(n_shards);
   Status failed = Status::OK();
-  for (api::Ticket<api::ShardScanReport>& ticket : tickets) {
-    auto report = ticket.Wait();  // drain every shard even after a failure
+  for (size_t s = 0; s < n_shards; ++s) {
+    // Gather every shard even after a failure, draining the fan-out.
+    auto report =
+        GatherShard(state, s, first[s], std::move(primaries[s]), scan);
     if (!report.ok()) {
       if (failed.ok()) failed = report.status();
       continue;
@@ -534,6 +693,10 @@ Result<ShardRouter> ShardRouter::Create(core::Catalog catalog,
   if (config.shards < 1) {
     return Status::InvalidArgument("router needs at least one shard");
   }
+  if (config.replicas < 1) {
+    return Status::InvalidArgument(
+        "router needs at least one replica per shard");
+  }
   if (catalog.strategies.size() != catalog.profiles.size()) {
     return Status::InvalidArgument(
         "strategy and profile lists must be index-aligned");
@@ -555,17 +718,22 @@ Result<ShardRouter> ShardRouter::Create(core::Catalog catalog,
 
   api::ServiceConfig shard_config = config.service;
   shard_config.journal = api::JournalConfig{};  // see the header comment
-  std::vector<api::Service> shards;
+  std::vector<std::vector<api::Service>> shards;
   shards.reserve(config.shards);
   for (size_t s = 0; s < config.shards; ++s) {
-    core::Catalog slice;
-    slice.strategies.assign(catalog.strategies.begin() + offsets[s],
-                            catalog.strategies.begin() + offsets[s + 1]);
-    slice.profiles.assign(catalog.profiles.begin() + offsets[s],
-                          catalog.profiles.begin() + offsets[s + 1]);
-    auto shard = api::Service::Create(std::move(slice), shard_config);
-    if (!shard.ok()) return shard.status();
-    shards.push_back(std::move(*shard));
+    std::vector<api::Service> replicas;
+    replicas.reserve(config.replicas);
+    for (size_t r = 0; r < config.replicas; ++r) {
+      core::Catalog slice;
+      slice.strategies.assign(catalog.strategies.begin() + offsets[s],
+                              catalog.strategies.begin() + offsets[s + 1]);
+      slice.profiles.assign(catalog.profiles.begin() + offsets[s],
+                            catalog.profiles.begin() + offsets[s + 1]);
+      auto replica = api::Service::Create(std::move(slice), shard_config);
+      if (!replica.ok()) return replica.status();
+      replicas.push_back(std::move(*replica));
+    }
+    shards.push_back(std::move(replicas));
   }
 
   return ShardRouter(std::make_shared<internal::RouterState>(
@@ -579,10 +747,17 @@ api::Ticket<api::BatchReport> ShardRouter::SubmitBatchAsync(
       request.request_id.empty() ? state_->NextId("batch")
                                  : request.request_id);
   internal::RouterState* state = state_.get();
+  const auto submitted = std::chrono::steady_clock::now();
   state_->executor.Submit(
-      [state, shared, request = std::move(request)]() mutable {
+      [state, shared, submitted, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->cancelled.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Counter before Finish, so stats read after Wait() see it.
+        if (internal::DeadlineExpired(request.deadline_ms, submitted)) {
+          state->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          shared->Finish(internal::ExpiredStatus(shared->id));
           return;
         }
         auto outcome = internal::GuardJob([&]() {
@@ -599,10 +774,16 @@ api::Ticket<api::SweepReport> ShardRouter::RunSweepAsync(
       request.request_id.empty() ? state_->NextId("sweep")
                                  : request.request_id);
   internal::RouterState* state = state_.get();
+  const auto submitted = std::chrono::steady_clock::now();
   state_->executor.Submit(
-      [state, shared, request = std::move(request)]() mutable {
+      [state, shared, submitted, request = std::move(request)]() mutable {
         if (!shared->BeginRun()) {
           state->cancelled.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (internal::DeadlineExpired(request.deadline_ms, submitted)) {
+          state->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          shared->Finish(internal::ExpiredStatus(shared->id));
           return;
         }
         auto outcome = internal::GuardJob([&]() {
@@ -638,8 +819,10 @@ Status ShardRouter::RegisterAvailabilityModel(
 bool ShardRouter::TryAdmit() const {
   if (state_->config.max_queue_depth == 0) return true;
   size_t depth = state_->executor.QueueDepth();
-  for (const api::Service& shard : state_->shards) {
-    depth += shard.stats().queue_depth;
+  for (const std::vector<api::Service>& replicas : state_->shards) {
+    for (const api::Service& replica : replicas) {
+      depth += replica.stats().queue_depth;
+    }
   }
   if (depth < state_->config.max_queue_depth) return true;
   state_->rejected_requests.fetch_add(1, std::memory_order_relaxed);
@@ -651,6 +834,8 @@ void ShardRouter::NoteRetryAfterHint() const {
 }
 
 size_t ShardRouter::shards() const { return state_->shards.size(); }
+
+size_t ShardRouter::replicas() const { return state_->config.replicas; }
 
 const RouterConfig& ShardRouter::config() const { return state_->config; }
 
@@ -665,24 +850,31 @@ api::ServiceStats ShardRouter::stats() const {
       state_->rejected_requests.load(std::memory_order_relaxed);
   out.retry_after_hints =
       state_->retry_after_hints.load(std::memory_order_relaxed);
+  out.deadline_exceeded =
+      state_->deadline_exceeded.load(std::memory_order_relaxed);
+  out.failovers = state_->failovers.load(std::memory_order_relaxed);
+  out.hedges_won = state_->hedges_won.load(std::memory_order_relaxed);
   out.queue_depth = state_->executor.QueueDepth();
   out.active_workers = state_->executor.ActiveWorkers();
   out.steals = static_cast<size_t>(state_->executor.StealCount());
   out.local_hits = static_cast<size_t>(state_->executor.LocalHitCount());
-  for (const api::Service& shard : state_->shards) {
-    const api::ServiceStats s = shard.stats();
-    out.streams_opened += s.streams_opened;
-    out.stream_events += s.stream_events;
-    out.stream_reschedules += s.stream_reschedules;
-    out.snapshot_delta_updates += s.snapshot_delta_updates;
-    out.snapshot_rebuilds += s.snapshot_rebuilds;
-    out.queue_depth += s.queue_depth;
-    out.active_workers += s.active_workers;
-    out.steals += s.steals;
-    out.local_hits += s.local_hits;
-    out.cache_hits += s.cache_hits;
-    out.cache_misses += s.cache_misses;
-    out.index_build_nanos += s.index_build_nanos;
+  for (const std::vector<api::Service>& replicas : state_->shards) {
+    for (const api::Service& replica : replicas) {
+      const api::ServiceStats s = replica.stats();
+      out.streams_opened += s.streams_opened;
+      out.stream_events += s.stream_events;
+      out.stream_reschedules += s.stream_reschedules;
+      out.snapshot_delta_updates += s.snapshot_delta_updates;
+      out.snapshot_rebuilds += s.snapshot_rebuilds;
+      out.deadline_exceeded += s.deadline_exceeded;
+      out.queue_depth += s.queue_depth;
+      out.active_workers += s.active_workers;
+      out.steals += s.steals;
+      out.local_hits += s.local_hits;
+      out.cache_hits += s.cache_hits;
+      out.cache_misses += s.cache_misses;
+      out.index_build_nanos += s.index_build_nanos;
+    }
   }
   // All shards run in-process, so the router reports the process-wide level.
   out.kernel_dispatch =

@@ -32,6 +32,18 @@
 // 429 + Retry-After. The router never journals — point the shard template's
 // journal at a path and it is deliberately stripped (N writers would
 // clobber one file, and scans are a transport, not a workload record).
+//
+// Fault tolerance (PR 10): RouterConfig::replicas runs R identical copies
+// of every shard's Service. Scatter picks a starting replica per request
+// (seeded, deterministic), fails over to the next replica when an attempt
+// errors, exceeds replica_timeout_ms, or is killed by the installed
+// fault::FaultPlan ("router.shard.<s>.replica.<r>" sites), and optionally
+// hedges a straggling first attempt after hedge_after_ms. Replicas hold
+// identical state, so any replica's report is THE shard report and the
+// byte-identity property is preserved under arbitrary failover (extended
+// property test: replicas {1,2,3} x injected failures). Requests whose
+// deadline_ms budget expires while queued complete with kDeadlineExceeded
+// through the ticket cancel path instead of scattering.
 #ifndef STRATREC_ROUTER_SHARD_ROUTER_H_
 #define STRATREC_ROUTER_SHARD_ROUTER_H_
 
@@ -54,6 +66,27 @@ struct RouterConfig {
   /// Shard count; Create fails when it exceeds the catalog size (every
   /// shard needs at least one strategy).
   size_t shards = 2;
+  /// Copies of each shard's Service. Replicas are built from the identical
+  /// catalog slice and config, so any replica's scan report *is* the
+  /// shard's report — failover and hedging cannot perturb byte-identity.
+  /// Scatter picks a starting replica per request deterministically (seeded
+  /// by `replica_seed` and a router-local sequence number) and fails over
+  /// to the next replica on error, injected fault, or timeout. 1 (the
+  /// default) reproduces the unreplicated router exactly.
+  size_t replicas = 1;
+  /// Seed of the deterministic replica picks; two routers with the same
+  /// seed route the same request sequence to the same replicas.
+  uint64_t replica_seed = 0;
+  /// Per-attempt timeout in ms on one replica's scan before failing over to
+  /// the next replica (the abandoned scan still completes on its shard pool;
+  /// its result is dropped). 0 = wait forever, so a dead-slow replica can
+  /// only be routed around via fault injection or hedging.
+  double replica_timeout_ms = 0.0;
+  /// Hedging: when > 0 (and replicas > 1), a first attempt still pending
+  /// after this many ms gets a duplicate scan on the next replica, and the
+  /// shard takes whichever finishes first (stats().hedges_won counts hedge
+  /// wins). 0 disables hedging.
+  double hedge_after_ms = 0.0;
   /// Template for the shard services *and* the router's own request
   /// handling: `batch` defaults, the default `availability` spec, and the
   /// cache quantum apply on the router (resolution happens exactly once,
@@ -105,10 +138,14 @@ class ShardRouter {
   void NoteRetryAfterHint() const;
 
   size_t shards() const;
+  /// Replicas per shard (RouterConfig::replicas after validation).
+  size_t replicas() const;
   const RouterConfig& config() const;
-  /// Router-level counters (batches/sweeps/requests_processed/cancelled and
-  /// the admission pair) plus the shard gauges, cache/steal counters, and
-  /// stream/snapshot counters summed across shards and the router pool.
+  /// Router-level counters (batches/sweeps/requests_processed/cancelled,
+  /// the admission pair, and the fault-tolerance counters
+  /// deadline_exceeded/failovers/hedges_won) plus the shard gauges,
+  /// cache/steal counters, and stream/snapshot counters summed across every
+  /// shard replica and the router pool.
   api::ServiceStats stats() const;
 
  private:

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "src/api/catalog.h"
 #include "src/api/service.h"
+#include "src/common/fault.h"
 #include "src/common/journal.h"
 #include "src/sim/engine.h"
 #include "src/workload/generators.h"
@@ -142,6 +144,19 @@ class Run {
     digest_.Mix(static_cast<uint64_t>(scenario_.strategies));
     digest_.Mix(scenario_.ticks);
     digest_.Mix(static_cast<uint64_t>(scenario_.stream_mode));
+
+    // Brownout drops run through the shared fault layer: a run-local plan
+    // (no global state) seeded from the run, one site, rate straight from
+    // the scenario knob. Same seed, same drop schedule — and the same
+    // machinery the serving tier's chaos bench exercises.
+    if (scenario_.faults.drop_probability > 0.0) {
+      fault::FaultConfig faults;
+      faults.seed = DeriveSeed(options_.seed, "fault-plan");
+      faults.sites.emplace_back(
+          std::string(fault::kSiteSimBatchDrop),
+          fault::SiteSpec{scenario_.faults.drop_probability, 0.0});
+      fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(faults));
+    }
 
     availability_.walk = scenario_.drift.base;
     availability_.occupied =
@@ -356,10 +371,8 @@ class Run {
   }
 
   bool DropBatch() {
-    if (scenario_.faults.drop_probability <= 0.0) return false;
-    if (!rng_.For("faults").Bernoulli(scenario_.faults.drop_probability)) {
-      return false;
-    }
+    if (fault_plan_ == nullptr) return false;
+    if (!fault_plan_->Visit(fault::kSiteSimBatchDrop).inject) return false;
     ++report_.dropped_batches;
     digest_.Mix("drop");
     return true;
@@ -535,6 +548,8 @@ class Run {
   const ScenarioConfig& scenario_;
   const RunOptions& options_;
   RngStreams rng_;
+  /// Brownout drop schedule; null unless the scenario has faults.
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   ScheduleDigest digest_;
   EventQueue queue_;
   std::vector<Tenant> tenants_;

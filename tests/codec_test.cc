@@ -97,8 +97,9 @@ Status RandomStatus(Rng& rng) {
       StatusCode::kNotFound,  StatusCode::kOutOfRange,
       StatusCode::kFailedPrecondition, StatusCode::kInfeasible,
       StatusCode::kCancelled, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
   };
-  const StatusCode code = kCodes[rng.UniformInt(0, 7)];
+  const StatusCode code = kCodes[rng.UniformInt(0, 8)];
   if (code == StatusCode::kOk) return Status::OK();
   return Status(code, RandomString(rng));
 }
@@ -125,6 +126,7 @@ api::BatchRequest RandomBatchRequest(Rng& rng) {
   if (rng.Bernoulli(0.5)) request.recommend_alternatives = rng.Bernoulli(0.5);
   if (rng.Bernoulli(0.5)) request.adpar_solver = RandomString(rng);
   if (rng.Bernoulli(0.5)) request.request_id = RandomString(rng);
+  if (rng.Bernoulli(0.5)) request.deadline_ms = 1.0 + 1000.0 * rng.Uniform();
   return request;
 }
 
@@ -182,6 +184,7 @@ api::SweepRequest RandomSweepRequest(Rng& rng) {
   for (std::string& solver : request.solvers) solver = RandomString(rng);
   request.availability = RandomSpec(rng);
   if (rng.Bernoulli(0.5)) request.request_id = RandomString(rng);
+  if (rng.Bernoulli(0.5)) request.deadline_ms = 1.0 + 1000.0 * rng.Uniform();
   return request;
 }
 
@@ -215,6 +218,7 @@ api::StreamOptions RandomStreamOptions(Rng& rng) {
                                            : core::Objective::kPayoff;
   }
   if (rng.Bernoulli(0.5)) options.recommend_alternatives = rng.Bernoulli(0.5);
+  if (rng.Bernoulli(0.5)) options.deadline_ms = 1.0 + 1000.0 * rng.Uniform();
   if (rng.Bernoulli(0.5)) options.session_id = RandomString(rng);
   return options;
 }
@@ -336,6 +340,10 @@ api::ServiceStats RandomServiceStats(Rng& rng) {
   stats.index_build_nanos = static_cast<size_t>(rng.UniformInt(0, 1 << 30));
   stats.rejected_requests = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.retry_after_hints = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.deadline_exceeded = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.retries = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.failovers = static_cast<size_t>(rng.UniformInt(0, 100000));
+  stats.hedges_won = static_cast<size_t>(rng.UniformInt(0, 100000));
   stats.kernel_dispatch = rng.Bernoulli(0.5) ? "avx2" : "scalar";
   return stats;
 }
@@ -459,6 +467,8 @@ TEST(Codec, FieldNamesAreStable) {
             "{\"kind\":\"fixed\",\"value\":0.5}");
   EXPECT_EQ(json::Dump(Encode(Status::Infeasible("k > |S|"))),
             "{\"code\":\"Infeasible\",\"message\":\"k > |S|\"}");
+  EXPECT_EQ(json::Dump(Encode(Status::DeadlineExceeded("too slow"))),
+            "{\"code\":\"DeadlineExceeded\",\"message\":\"too slow\"}");
 
   // The stats block the journal checkpoints ride on. Renaming a field here
   // silently breaks every recorded trace — update the format version too.
@@ -481,6 +491,10 @@ TEST(Codec, FieldNamesAreStable) {
   stats.index_build_nanos = 13;
   stats.rejected_requests = 14;
   stats.retry_after_hints = 15;
+  stats.deadline_exceeded = 19;
+  stats.retries = 20;
+  stats.failovers = 21;
+  stats.hedges_won = 22;
   stats.kernel_dispatch = "avx2";
   EXPECT_EQ(json::Dump(Encode(stats)),
             "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
@@ -490,7 +504,64 @@ TEST(Codec, FieldNamesAreStable) {
             "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
             "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
             "\"index_build_nanos\":13,\"rejected_requests\":14,"
-            "\"retry_after_hints\":15,\"kernel_dispatch\":\"avx2\"}");
+            "\"retry_after_hints\":15,\"deadline_exceeded\":19,"
+            "\"retries\":20,\"failovers\":21,\"hedges_won\":22,"
+            "\"kernel_dispatch\":\"avx2\"}");
+}
+
+// v6 journals predate the fault-tolerance counters: a stats block without
+// them must still decode, defaulting the new fields to zero.
+TEST(Codec, V6StatsWithoutFaultCountersStillDecode) {
+  const std::string v6 =
+      "{\"batches\":1,\"sweeps\":2,\"streams_opened\":3,"
+      "\"stream_events\":4,\"stream_reschedules\":16,"
+      "\"snapshot_delta_updates\":17,\"snapshot_rebuilds\":18,"
+      "\"requests_processed\":5,\"cancelled\":6,"
+      "\"queue_depth\":7,\"active_workers\":8,\"steals\":9,"
+      "\"local_hits\":10,\"cache_hits\":11,\"cache_misses\":12,"
+      "\"index_build_nanos\":13,\"rejected_requests\":14,"
+      "\"retry_after_hints\":15,\"kernel_dispatch\":\"avx2\"}";
+  auto decoded = DecodeServiceStats(*json::Parse(v6));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->batches, 1u);
+  EXPECT_EQ(decoded->retry_after_hints, 15u);
+  EXPECT_EQ(decoded->deadline_exceeded, 0u);
+  EXPECT_EQ(decoded->retries, 0u);
+  EXPECT_EQ(decoded->failovers, 0u);
+  EXPECT_EQ(decoded->hedges_won, 0u);
+}
+
+// deadline_ms is emitted only when set: a request without a deadline must
+// encode byte-identically to its pre-v7 form, and a set deadline must
+// round-trip on all three envelope kinds.
+TEST(Codec, DeadlineMsIsOmittedWhenUnsetAndRoundTripsWhenSet) {
+  api::BatchRequest batch;
+  batch.availability = api::AvailabilitySpec::Fixed(0.5);
+  EXPECT_EQ(json::Dump(Encode(batch)).find("deadline_ms"), std::string::npos);
+  batch.deadline_ms = 250.0;
+  const std::string encoded = json::Dump(Encode(batch));
+  EXPECT_NE(encoded.find("\"deadline_ms\":250"), std::string::npos) << encoded;
+  auto decoded = DecodeBatchRequest(*json::Parse(encoded));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->deadline_ms, 250.0);
+
+  api::SweepRequest sweep;
+  sweep.availability = api::AvailabilitySpec::Fixed(0.5);
+  EXPECT_EQ(json::Dump(Encode(sweep)).find("deadline_ms"), std::string::npos);
+  sweep.deadline_ms = 80.5;
+  auto sweep_decoded =
+      DecodeSweepRequest(*json::Parse(json::Dump(Encode(sweep))));
+  ASSERT_TRUE(sweep_decoded.ok());
+  EXPECT_EQ(sweep_decoded->deadline_ms, 80.5);
+
+  api::StreamOptions options;
+  EXPECT_EQ(json::Dump(Encode(options)).find("deadline_ms"),
+            std::string::npos);
+  options.deadline_ms = 12.25;
+  auto options_decoded =
+      DecodeStreamOptions(*json::Parse(json::Dump(Encode(options))));
+  ASSERT_TRUE(options_decoded.ok());
+  EXPECT_EQ(options_decoded->deadline_ms, 12.25);
 }
 
 TEST(Codec, StatsRecordDecodesIntoTheTrace) {

@@ -1,0 +1,165 @@
+// FaultPlan determinism pins: the same seed must produce the same
+// injected-fault schedule (per-visit decisions AND the order-independent
+// schedule digest), sites must honor their rates, unregistered sites must
+// stay no-ops, and the process-global install/clear pair must behave. A
+// golden digest pins the hash function itself — if the schedule ever
+// changes shape, the chaos bench's stamped digests silently stop being
+// comparable across versions, and this test is what catches it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault.h"
+
+namespace stratrec {
+namespace {
+
+fault::FaultConfig TwoSites(uint64_t seed) {
+  fault::FaultConfig config;
+  config.seed = seed;
+  config.sites.emplace_back("site.a", fault::SiteSpec{0.5, 0.0});
+  config.sites.emplace_back("site.b", fault::SiteSpec{0.25, 1.5});
+  return config;
+}
+
+std::vector<bool> Schedule(fault::FaultPlan* plan, std::string_view site,
+                           size_t visits) {
+  std::vector<bool> injected;
+  injected.reserve(visits);
+  for (size_t i = 0; i < visits; ++i) {
+    injected.push_back(plan->Visit(site).inject);
+  }
+  return injected;
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  fault::FaultPlan first(TwoSites(0x5EED));
+  fault::FaultPlan second(TwoSites(0x5EED));
+  EXPECT_EQ(Schedule(&first, "site.a", 500), Schedule(&second, "site.a", 500));
+  EXPECT_EQ(Schedule(&first, "site.b", 500), Schedule(&second, "site.b", 500));
+  EXPECT_EQ(first.Injected("site.a"), second.Injected("site.a"));
+  EXPECT_EQ(first.Injected("site.b"), second.Injected("site.b"));
+  EXPECT_EQ(first.ScheduleDigest(), second.ScheduleDigest());
+  EXPECT_NE(first.ScheduleDigest(), 0u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  fault::FaultPlan first(TwoSites(1));
+  fault::FaultPlan second(TwoSites(2));
+  Schedule(&first, "site.a", 500);
+  Schedule(&second, "site.a", 500);
+  EXPECT_NE(first.ScheduleDigest(), second.ScheduleDigest());
+}
+
+TEST(FaultPlan, RatesAreHonored) {
+  fault::FaultConfig config;
+  config.seed = 7;
+  config.sites.emplace_back("never", fault::SiteSpec{0.0, 0.0});
+  config.sites.emplace_back("always", fault::SiteSpec{1.0, 2.5});
+  config.sites.emplace_back("quarter", fault::SiteSpec{0.25, 0.0});
+  fault::FaultPlan plan(config);
+
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_FALSE(plan.Visit("never").inject);
+    const fault::FaultDecision dead = plan.Visit("always");
+    EXPECT_TRUE(dead.inject);
+    EXPECT_DOUBLE_EQ(dead.delay_ms, 2.5);
+    EXPECT_EQ(dead.visit, i);
+  }
+  EXPECT_EQ(plan.Injected("never"), 0u);
+  EXPECT_EQ(plan.Injected("always"), 200u);
+  EXPECT_EQ(plan.Visits("never"), 200u);
+
+  size_t hits = 0;
+  for (size_t i = 0; i < 2000; ++i) {
+    if (plan.Visit("quarter").inject) ++hits;
+  }
+  EXPECT_GT(hits, 2000 * 0.15);
+  EXPECT_LT(hits, 2000 * 0.35);
+}
+
+TEST(FaultPlan, UnregisteredSitesAreNoOps) {
+  fault::FaultPlan plan(TwoSites(3));
+  EXPECT_FALSE(plan.HasSite("site.c"));
+  EXPECT_FALSE(plan.Visit("site.c").inject);
+  EXPECT_EQ(plan.Visits("site.c"), 0u);
+  EXPECT_EQ(plan.Injected("site.c"), 0u);
+
+  fault::FaultPlan empty;
+  EXPECT_FALSE(empty.enabled());
+  EXPECT_FALSE(empty.Visit("anything").inject);
+  EXPECT_EQ(empty.ScheduleDigest(), 0u);
+}
+
+// The digest is an XOR fold over injected (site, visit) pairs: any visit
+// interleaving with the same per-site visit counts agrees. This is the
+// property that lets concurrent serving traffic stamp a comparable digest.
+TEST(FaultPlan, DigestIsOrderAndThreadIndependent) {
+  fault::FaultPlan sequential(TwoSites(0xD16));
+  Schedule(&sequential, "site.a", 400);
+  Schedule(&sequential, "site.b", 400);
+
+  fault::FaultPlan interleaved(TwoSites(0xD16));
+  for (size_t i = 0; i < 400; ++i) {
+    interleaved.Visit("site.b");
+    interleaved.Visit("site.a");
+  }
+  EXPECT_EQ(sequential.ScheduleDigest(), interleaved.ScheduleDigest());
+
+  fault::FaultPlan concurrent(TwoSites(0xD16));
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&concurrent]() {
+      for (size_t i = 0; i < 100; ++i) {
+        concurrent.Visit("site.a");
+        concurrent.Visit("site.b");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(sequential.ScheduleDigest(), concurrent.ScheduleDigest());
+  EXPECT_EQ(sequential.TotalInjected(), concurrent.TotalInjected());
+}
+
+// Golden pin of the hash function: seed 0x5EED, site "pin" at rate 0.5, 64
+// visits. If this changes, stamped digests from older chaos runs are no
+// longer comparable — bump deliberately, never silently.
+TEST(FaultPlan, GoldenScheduleDigest) {
+  fault::FaultConfig config;
+  config.seed = 0x5EED;
+  config.sites.emplace_back("pin", fault::SiteSpec{0.5, 0.0});
+  fault::FaultPlan plan(config);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    if (plan.Visit("pin").inject) mask |= uint64_t{1} << i;
+  }
+  EXPECT_EQ(mask, 0xf591d0a87aa56458ull);
+  EXPECT_EQ(plan.ScheduleDigest(), 0x59524d3dc409910eull);
+}
+
+TEST(FaultGlobal, InstallReplacesAndClearRemoves) {
+  fault::ClearGlobalFaultPlan();
+  EXPECT_EQ(fault::GlobalFaultPlan(), nullptr);
+
+  auto plan = fault::InstallGlobalFaultPlan(TwoSites(9));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(fault::GlobalFaultPlan().get(), plan.get());
+
+  auto replacement = fault::InstallGlobalFaultPlan(TwoSites(10));
+  EXPECT_EQ(fault::GlobalFaultPlan().get(), replacement.get());
+  // The displaced plan stays valid for whoever kept the handle.
+  EXPECT_TRUE(plan->enabled());
+
+  fault::ClearGlobalFaultPlan();
+  EXPECT_EQ(fault::GlobalFaultPlan(), nullptr);
+}
+
+TEST(FaultSites, ReplicaSiteNamesAreStable) {
+  EXPECT_EQ(fault::ReplicaSiteName(0, 0), "router.shard.0.replica.0");
+  EXPECT_EQ(fault::ReplicaSiteName(3, 12), "router.shard.3.replica.12");
+}
+
+}  // namespace
+}  // namespace stratrec

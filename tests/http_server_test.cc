@@ -5,9 +5,16 @@
 // bad JSON, unknown routes, wrong methods — each answered with the right
 // 4xx *without* a Service ever seeing the request (asserted on the router
 // counters). Admission control is exercised end to end: a parked worker
-// plus a full queue turns into 429 + Retry-After on the wire.
+// plus a full queue turns into 429 + Retry-After on the wire. The
+// fault-tolerance surface rides the same harness: graceful drain on Stop,
+// X-Stratrec-Deadline-Ms (400 on garbage, 504 past budget), and the
+// RetryingHttpClient against injected connection drops — which must retry
+// transport failures but never 5xx.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -16,6 +23,7 @@
 
 #include "src/api/codec.h"
 #include "src/api/registry.h"
+#include "src/common/fault.h"
 #include "src/common/json.h"
 #include "src/net/http_client.h"
 #include "src/net/serving.h"
@@ -350,6 +358,273 @@ TEST(HttpServer, SaturatedQueueAnswers429WithRetryAfter) {
   EXPECT_EQ(stats.rejected_requests, 1u);
   EXPECT_EQ(stats.retry_after_hints, 1u);
   EXPECT_EQ(stats.batches, 2u);
+
+  // The hint is visible through the wire-codec stats fold: GET /v1/stats
+  // must carry the same retry_after_hints counter (the 429 path end to end).
+  auto stats_client = Dial(tier.server);
+  ASSERT_TRUE(stats_client.ok());
+  auto stats_response = stats_client->Get("/v1/stats");
+  ASSERT_TRUE(stats_response.ok()) << stats_response.status().ToString();
+  ASSERT_EQ(stats_response->status_code, 200);
+  auto decoded_stats =
+      wire::DecodeServiceStats(json::Parse(stats_response->body).value());
+  ASSERT_TRUE(decoded_stats.ok()) << decoded_stats.status().ToString();
+  EXPECT_EQ(decoded_stats->retry_after_hints, 1u);
+  EXPECT_EQ(decoded_stats->rejected_requests, 1u);
+  tier.server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain, deadlines on the wire, and the retrying client.
+// ---------------------------------------------------------------------------
+
+/// A second parking gate with its own registry backend ("park-gate") so
+/// these tests don't disturb the admission test's gate, plus per-test Reset.
+struct ParkGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int entered = 0;
+  bool released = false;
+
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this]() { return entered >= 1; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      released = true;
+    }
+    cv.notify_all();
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex);
+    entered = 0;
+    released = false;
+  }
+};
+ParkGate& Park() {
+  static ParkGate* gate = new ParkGate();
+  return *gate;
+}
+
+void RegisterParkBackendOnce() {
+  static const bool registered = []() {
+    return api::AlgorithmRegistry::Global()
+        .RegisterBatch(
+            "park-gate",
+            [](const std::vector<core::DeploymentRequest>& requests,
+               const std::vector<core::StrategyProfile>&, double,
+               const core::BatchOptions&) -> Result<core::BatchResult> {
+              ParkGate& gate = Park();
+              std::unique_lock<std::mutex> lock(gate.mutex);
+              ++gate.entered;
+              gate.cv.notify_all();
+              gate.cv.wait(lock, [&gate]() { return gate.released; });
+              core::BatchResult result;
+              result.outcomes.resize(requests.size());
+              return result;
+            })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+}
+
+api::BatchRequest ParkedBatch() {
+  api::BatchRequest batch = SmallBatch();
+  batch.algorithm = "park-gate";
+  batch.recommend_alternatives = false;
+  return batch;
+}
+
+std::string PostBytes(const std::string& target, const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.body = body;
+  return SerializeRequest(request);
+}
+
+// Stop() must refuse new connects immediately but let already-pipelined
+// requests complete and flush in order — the peer is owed both responses.
+TEST(HttpServerDrain, StopFlushesPipelinedResponsesAndRefusesNewConnects) {
+  RegisterParkBackendOnce();
+  Park().Reset();
+
+  RouterConfig config;
+  config.shards = 1;
+  config.router_threads = 1;
+  Tier tier = StartTier(config);
+
+  auto client = Dial(tier.server);
+  ASSERT_TRUE(client.ok());
+  // Pipeline two requests on one connection: the first parks the pool
+  // worker, the second (healthz) completes inline but must queue behind it.
+  const std::string pipelined =
+      PostBytes("/v1/batch", json::Dump(wire::Encode(ParkedBatch()))) +
+      "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_TRUE(client->SendRaw(pipelined).ok());
+  Park().AwaitEntered();
+
+  std::thread stopper([&tier]() { tier.server.Stop(); });
+  // Stop closes the listener before touching connections: a connect racing
+  // the drain window must be refused while the parked work is still owed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(Dial(tier.server).ok());
+
+  Park().Release();
+  stopper.join();
+
+  auto first = client->ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status_code, 200);
+  auto second = client->ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status_code, 200);
+  EXPECT_EQ(second->body, "{\"status\":\"ok\"}");
+}
+
+TEST(HttpDeadline, MalformedDeadlineHeaderIsA400) {
+  Tier tier = StartTier();
+  auto client = Dial(tier.server);
+  ASSERT_TRUE(client.ok());
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/batch";
+  request.AddHeader("X-Stratrec-Deadline-Ms", "soon-ish");
+  request.body = json::Dump(wire::Encode(SmallBatch()));
+  auto response = client->RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 400);
+  EXPECT_NE(response->body.find("X-Stratrec-Deadline-Ms"), std::string::npos);
+
+  request.headers.clear();
+  request.AddHeader("X-Stratrec-Deadline-Ms", "-5");
+  response = client->RoundTrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 400);
+  tier.server.Stop();
+  ExpectNoSolverTraffic(tier.router);
+}
+
+// An expired deadline surfaces as 504 Gateway Timeout on the wire, and the
+// header overrides the body's deadline_ms.
+TEST(HttpDeadline, ExpiredHeaderDeadlineIsA504) {
+  RegisterParkBackendOnce();
+  Park().Reset();
+
+  RouterConfig config;
+  config.shards = 1;
+  config.router_threads = 1;
+  Tier tier = StartTier(config);
+
+  auto parked = Dial(tier.server);
+  ASSERT_TRUE(parked.ok());
+  ASSERT_TRUE(
+      parked
+          ->SendRaw(PostBytes("/v1/batch",
+                              json::Dump(wire::Encode(ParkedBatch()))))
+          .ok());
+  Park().AwaitEntered();
+
+  auto doomed = Dial(tier.server);
+  ASSERT_TRUE(doomed.ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/batch";
+  request.AddHeader("X-Stratrec-Deadline-Ms", "5");
+  request.body = json::Dump(wire::Encode(SmallBatch()));
+  ASSERT_TRUE(doomed->SendRaw(SerializeRequest(request)).ok());
+
+  // Hold the queue past the 5ms budget before freeing the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Park().Release();
+
+  auto response = doomed->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 504);
+  EXPECT_NE(response->body.find("DeadlineExceeded"), std::string::npos);
+
+  auto parked_response = parked->ReadResponse();
+  ASSERT_TRUE(parked_response.ok());
+  EXPECT_EQ(parked_response->status_code, 200);
+  EXPECT_EQ(tier.router.stats().deadline_exceeded, 1u);
+  tier.server.Stop();
+}
+
+TEST(RetryingClient, BackoffScheduleIsDeterministicAndJittered) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 250.0;
+  policy.seed = 42;
+  for (uint64_t sequence = 0; sequence < 4; ++sequence) {
+    for (size_t attempt = 0; attempt < 6; ++attempt) {
+      const double wait =
+          RetryingHttpClient::BackoffMs(policy, sequence, attempt);
+      EXPECT_EQ(wait, RetryingHttpClient::BackoffMs(policy, sequence, attempt));
+      const double cap =
+          std::min(10.0 * std::pow(2.0, static_cast<double>(attempt)), 250.0);
+      EXPECT_GE(wait, cap * 0.5);
+      EXPECT_LT(wait, cap);
+    }
+  }
+  // A different seed reshuffles the jitter.
+  RetryPolicy other = policy;
+  other.seed = 43;
+  EXPECT_NE(RetryingHttpClient::BackoffMs(policy, 0, 0),
+            RetryingHttpClient::BackoffMs(other, 0, 0));
+}
+
+TEST(RetryingClient, ReconnectsAndRetriesThroughInjectedConnectionDrops) {
+  Tier tier = StartTier();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 4.0;
+  RetryingHttpClient client("127.0.0.1", tier.server.port(), policy);
+
+  auto healthy = client.Get("/healthz");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->status_code, 200);
+  EXPECT_EQ(client.retries(), 0u);
+
+  // Every framed request dropped: the client burns its whole budget and
+  // reports the transport failure instead of hanging or lying.
+  fault::InstallGlobalFaultPlan(
+      {0xD20, {{std::string(fault::kSiteHttpDrop), {1.0, 0.0}}}});
+  auto dropped = client.Get("/healthz");
+  EXPECT_FALSE(dropped.ok());
+  EXPECT_EQ(client.retries(), 2u);  // max_attempts - 1
+
+  // Faults cleared: the next request reconnects and succeeds.
+  fault::ClearGlobalFaultPlan();
+  auto recovered = client.Get("/healthz");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->status_code, 200);
+  tier.server.Stop();
+}
+
+// Real 5xx must pass through unretried — masking them would hide every
+// genuine failure behind the retry budget (and break the chaos bench's
+// injected-fault accounting).
+TEST(RetryingClient, DoesNotRetryServerErrors) {
+  // replicas = 1 and a dead replica: every scatter fails with the tagged
+  // injected error and there is nowhere to fail over to.
+  fault::InstallGlobalFaultPlan(
+      {0xD21, {{std::string(fault::kSiteRouterReplica), {1.0, 0.0}}}});
+  Tier tier = StartTier();
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  RetryingHttpClient client("127.0.0.1", tier.server.port(), policy);
+
+  auto response =
+      client.PostJson("/v1/batch", json::Dump(wire::Encode(SmallBatch())));
+  fault::ClearGlobalFaultPlan();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 500);
+  EXPECT_NE(response->body.find("[injected]"), std::string::npos);
+  EXPECT_EQ(client.retries(), 0u);
   tier.server.Stop();
 }
 

@@ -169,19 +169,53 @@ TEST(Journal, OversizedRecordGetsASegmentToItself) {
   EXPECT_EQ(all->back(), "tiny");
 }
 
-// Readers accept exactly the current format version: the v4 bump (stream
-// records, compaction) must not let a v4 reader silently misread an older
-// file, nor an older reader misread a compacted chain.
-TEST(Journal, OlderFormatVersionIsRejected) {
-  const std::string path = TempPath("old_version");
-  FILE* f = fopen(path.c_str(), "wb");
-  fputs(("{\"format\":\"stratrec-journal\",\"version\":" +
-         std::to_string(kJournalFormatVersion - 1) + "}\nrec\n")
-            .c_str(),
-        f);
-  fclose(f);
+// Readers accept the kJournalMinReadVersion..kJournalFormatVersion window.
+// The v7 bump (fault-tolerance counters, deadline_ms) only *adds* optional
+// fields, so v6 files stay replayable; v5 and older changed record shapes
+// and must still be rejected, as must anything newer than this build.
+TEST(Journal, VersionWindowAcceptsV6AndRejectsOutsiders) {
+  const auto write_version = [](const std::string& path, int version) {
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs(("{\"format\":\"stratrec-journal\",\"version\":" +
+           std::to_string(version) + "}\nrec\n")
+              .c_str(),
+          f);
+    fclose(f);
+  };
+  static_assert(kJournalFormatVersion == 7);
+  static_assert(kJournalMinReadVersion == 6);
+
+  const std::string path = TempPath("version_window");
+  write_version(path, kJournalMinReadVersion);  // v6: decode-compat
+  auto records = JournalReader::ReadRecords(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(records->front(), "rec");
+
+  write_version(path, kJournalMinReadVersion - 1);  // v5: too old
   EXPECT_EQ(JournalReader::ReadRecords(path).status().code(),
             StatusCode::kInvalidArgument);
+  write_version(path, kJournalFormatVersion + 1);  // v8: from the future
+  EXPECT_EQ(JournalReader::ReadRecords(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The writer stamps the current version on every fresh segment.
+TEST(Journal, WriterStampsTheCurrentFormatVersion) {
+  const std::string path = TempPath("stamped_version");
+  {
+    auto writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("r").ok());
+  }
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char line[128] = {};
+  ASSERT_NE(fgets(line, sizeof(line), f), nullptr);
+  fclose(f);
+  EXPECT_EQ(std::string(line),
+            "{\"format\":\"stratrec-journal\",\"version\":" +
+                std::to_string(kJournalFormatVersion) + "}\n");
 }
 
 // ---------------------------------------------------------------------------

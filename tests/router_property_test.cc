@@ -6,15 +6,19 @@
 // built-in batch algorithms, both aggregation modes, the custom-solver
 // fallback ("weighted"), alternatives on and off, multiple ADPaR backends,
 // in-band infeasibility (k > |S|), and whole-batch validation failures
-// (k < 1), plus sweeps over the solver family.
+// (k < 1), plus sweeps over the solver family. A second leg re-runs the
+// trace with replicas {1, 2, 3} per shard under injected replica failures:
+// failover must preserve byte identity too.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "src/api/codec.h"
 #include "src/api/service.h"
+#include "src/common/fault.h"
 #include "src/common/json.h"
 #include "src/router/shard_router.h"
 
@@ -175,6 +179,77 @@ TEST(RouterProperty, ShardedReportsAreByteIdenticalToUnsharded) {
         EXPECT_EQ(actual[i], expected[i])
             << "trace case " << i << " diverged at shards=" << shards
             << " pool=" << pool;
+      }
+    }
+  }
+}
+
+// Replication must not bend the anchor: with R replicas per shard and
+// injected replica failures forcing failover on every dispatch to a dead
+// replica, reports stay byte-identical to the unsharded Service. The
+// injected sites kill all-but-one replica per shard, so failover always
+// lands on a live copy and the property is exact, not probabilistic.
+TEST(RouterProperty, ReplicatedFailoverPreservesByteIdentity) {
+  const core::Catalog catalog = WideCatalog();
+  for (const size_t pool : {size_t{1}, size_t{4}}) {
+    api::ServiceConfig config;
+    config.execution.worker_threads = pool;
+    config.cache.availability_quantum = 0.05;
+
+    auto unsharded = api::Service::Create(catalog, config);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    const std::vector<std::string> expected = RunTrace(*unsharded);
+
+    for (const size_t replicas : {size_t{1}, size_t{2}, size_t{3}}) {
+      // Dead-replica sites (rate 1.0), leaving exactly one live replica
+      // per shard; replicas == 1 runs fault-free as the control.
+      fault::FaultConfig faults;
+      faults.seed = 0xFA11 + replicas;
+      if (replicas == 2) {
+        faults.sites.emplace_back(fault::ReplicaSiteName(0, 0),
+                                  fault::SiteSpec{1.0, 0.0});
+        faults.sites.emplace_back(fault::ReplicaSiteName(1, 1),
+                                  fault::SiteSpec{1.0, 0.0});
+      } else if (replicas == 3) {
+        faults.sites.emplace_back(fault::ReplicaSiteName(0, 0),
+                                  fault::SiteSpec{1.0, 0.0});
+        faults.sites.emplace_back(fault::ReplicaSiteName(0, 1),
+                                  fault::SiteSpec{1.0, 0.0});
+        faults.sites.emplace_back(fault::ReplicaSiteName(1, 2),
+                                  fault::SiteSpec{1.0, 0.0});
+      }
+      std::shared_ptr<fault::FaultPlan> plan;
+      if (replicas > 1) {
+        plan = fault::InstallGlobalFaultPlan(std::move(faults));
+      } else {
+        fault::ClearGlobalFaultPlan();
+      }
+
+      RouterConfig router_config;
+      router_config.shards = 2;
+      router_config.replicas = replicas;
+      router_config.replica_seed = 0x51EC;
+      router_config.service = config;
+      router_config.router_threads = pool;
+      auto router = ShardRouter::Create(catalog, router_config);
+      ASSERT_TRUE(router.ok()) << router.status().ToString();
+      EXPECT_EQ(router->replicas(), replicas);
+
+      const std::vector<std::string> actual = RunTrace(*router);
+      fault::ClearGlobalFaultPlan();
+      ASSERT_EQ(actual.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i])
+            << "trace case " << i << " diverged at replicas=" << replicas
+            << " pool=" << pool;
+      }
+      if (replicas > 1) {
+        // Dispatches that picked a dead replica must have failed over, and
+        // none of the injected failures may leak into reported outcomes.
+        EXPECT_GT(router->stats().failovers, 0u)
+            << "replicas=" << replicas << " pool=" << pool;
+        ASSERT_NE(plan, nullptr);
+        EXPECT_GT(plan->TotalInjected(), 0u);
       }
     }
   }
